@@ -1,0 +1,46 @@
+"""Figure 4 benchmarks: upload times vs. number of indexes and vs. replication factor."""
+
+from conftest import run_figure
+
+from repro.experiments import upload
+
+
+def test_fig4a_uservisits_upload(benchmark, config):
+    """Figure 4(a): HAIL uploads UserVisits with up to three indexes at ~Hadoop speed;
+    Hadoop++ pays several times more."""
+    result = run_figure(benchmark, upload.fig4a, config)
+    hadoop = result.row_for("num_indexes", 0)["hadoop_s"]
+    hail_all = [row["hail_s"] for row in result.rows]
+    assert max(hail_all) < 1.25 * hadoop
+    assert result.row_for("num_indexes", 1)["hadoopplusplus_s"] > 3.0 * hadoop
+    assert result.row_for("num_indexes", 0)["hadoopplusplus_s"] > 2.0 * hadoop
+    assert hail_all == sorted(hail_all)
+
+
+def test_fig4b_synthetic_upload(benchmark, config):
+    """Figure 4(b): binary PAX conversion makes HAIL *faster* than Hadoop on Synthetic."""
+    result = run_figure(benchmark, upload.fig4b, config)
+    hadoop = result.row_for("num_indexes", 0)["hadoop_s"]
+    assert result.row_for("num_indexes", 3)["hail_s"] < hadoop
+    assert result.row_for("num_indexes", 0)["hail_s"] < hadoop
+    assert result.row_for("num_indexes", 1)["hadoopplusplus_s"] > 2.5 * hadoop
+
+
+def test_fig4c_replication_sweep(benchmark, replication_config):
+    """Figure 4(c): HAIL stores five-to-six indexed replicas in roughly the time Hadoop needs
+    for three plain ones."""
+    result = run_figure(benchmark, upload.fig4c, replication_config)
+    hadoop = result.rows[0]["hadoop_3_replicas_s"]
+    by_replicas = {row["replicas"]: row["hail_s"] for row in result.rows}
+    assert by_replicas[3] < hadoop
+    assert by_replicas[5] < 1.2 * hadoop
+    assert by_replicas[6] < 1.5 * hadoop
+    assert list(by_replicas.values()) == sorted(by_replicas.values())
+
+
+def test_fulltext_indexing_comparison(benchmark, config):
+    """Section 5 micro-benchmark: HAIL's upload+indexing throughput dwarfs full-text indexing."""
+    result = run_figure(benchmark, upload.fulltext_comparison, config)
+    fulltext = result.row_for("system", "Full-text indexing [15]")
+    hail = result.row_for("system", "HAIL upload + 3 indexes")
+    assert hail["gb_per_hour"] > 3.0 * fulltext["gb_per_hour"]

@@ -1,0 +1,27 @@
+"""Figure 5 benchmark: scale-out with constant data per node."""
+
+import statistics
+
+from conftest import run_figure
+
+from repro.experiments import scaleout
+
+
+def test_fig5_scaleout(benchmark, config):
+    """Figure 5: upload times stay roughly flat from 10 to 40 nodes (constant data per node),
+    HAIL beats Hadoop on Synthetic and shows no larger spread across cluster sizes."""
+    result = run_figure(
+        benchmark, scaleout.fig5, config.with_(blocks_per_node=4), cluster_sizes=(10, 20, 40)
+    )
+    synthetic = [row for row in result.rows if row["dataset"] == "Synthetic"]
+    uservisits = [row for row in result.rows if row["dataset"] == "UserVisits"]
+    for rows in (synthetic, uservisits):
+        hadoop = [row["hadoop_s"] for row in rows]
+        hail = [row["hail_s"] for row in rows]
+        # Constant data per node: no more than ~25% drift across cluster sizes.
+        assert max(hadoop) < 1.25 * min(hadoop)
+        assert max(hail) < 1.25 * min(hail)
+    assert all(row["hail_s"] < row["hadoop_s"] for row in synthetic)
+    hail_spread = statistics.pstdev([row["hail_s"] for row in synthetic])
+    hadoop_spread = statistics.pstdev([row["hadoop_s"] for row in synthetic])
+    assert hail_spread <= hadoop_spread * 1.5

@@ -1,0 +1,33 @@
+"""Figure 6 benchmark: Bob's query workload without HailSplitting (runtime, RecordReader, overhead)."""
+
+from conftest import run_figure
+
+from repro.experiments import queries
+
+
+def test_fig6_bob_queries(benchmark, config):
+    """Figure 6(a)-(c): with one map task per block, HAIL's clustered indexes cut RecordReader
+    times by an order of magnitude and end-to-end runtimes by ~40%, while framework overhead
+    dominates every system."""
+    result = run_figure(benchmark, queries.fig6, config)
+
+    # (a) end-to-end runtimes: HAIL < Hadoop for every query; Hadoop++ wins only on sourceIP.
+    for row in result.rows:
+        assert row["results_agree"]
+        assert row["hail_runtime_s"] < row["hadoop_runtime_s"]
+        assert row["hail_runtime_s"] <= row["hadoopplusplus_runtime_s"] * 1.05
+    q1 = result.row_for("query", "Bob-Q1")
+    q2 = result.row_for("query", "Bob-Q2")
+    assert q2["hadoopplusplus_runtime_s"] < q1["hadoopplusplus_runtime_s"]
+
+    # (b) RecordReader times: HAIL at least ~8x faster than Hadoop on every query.
+    for row in result.rows:
+        assert row["hail_rr_ms"] * 8 < row["hadoop_rr_ms"]
+    # Hadoop++ only reaches HAIL-like RecordReader times on its single indexed attribute.
+    assert q2["hadoopplusplus_rr_ms"] < q1["hadoopplusplus_rr_ms"] / 5
+    assert q1["hadoopplusplus_rr_ms"] > 3 * q1["hail_rr_ms"]
+
+    # (c) the framework overhead dominates the end-to-end runtime of the indexed systems.
+    for row in result.rows:
+        assert row["hail_overhead_s"] > 0.7 * row["hail_runtime_s"]
+        assert row["hadoop_overhead_s"] > 0.3 * row["hadoop_runtime_s"]

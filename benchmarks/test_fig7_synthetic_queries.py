@@ -1,0 +1,39 @@
+"""Figure 7 benchmark: the Synthetic workload without HailSplitting (selectivity isolation)."""
+
+from conftest import run_figure
+
+from repro.experiments import queries
+
+
+def test_fig7_synthetic_queries(benchmark, config):
+    """Figure 7(a)-(c): all queries filter the same attribute, so HAIL and Hadoop++ both index-
+    scan; selectivity strongly affects RecordReader times but end-to-end runtimes stay flat
+    because the scheduling overhead dominates."""
+    result = run_figure(benchmark, queries.fig7, config)
+
+    # (a) both index systems beat Hadoop; selectivity barely moves end-to-end runtimes.
+    for row in result.rows:
+        assert row["results_agree"]
+        assert row["hail_runtime_s"] < row["hadoop_runtime_s"]
+        assert row["hadoopplusplus_runtime_s"] < row["hadoop_runtime_s"]
+    hail_runtimes = [row["hail_runtime_s"] for row in result.rows]
+    assert max(hail_runtimes) < 1.3 * min(hail_runtimes)
+    hadoop_runtimes = [row["hadoop_runtime_s"] for row in result.rows]
+    assert max(hadoop_runtimes) < 1.1 * min(hadoop_runtimes)
+
+    # (b) RecordReader times follow selectivity and projectivity.
+    q1a = result.row_for("query", "Syn-Q1a")
+    q1c = result.row_for("query", "Syn-Q1c")
+    q2a = result.row_for("query", "Syn-Q2a")
+    q2c = result.row_for("query", "Syn-Q2c")
+    assert q2a["hail_rr_ms"] < q1a["hail_rr_ms"]      # lower selectivity -> cheaper
+    assert q1c["hail_rr_ms"] < q1a["hail_rr_ms"]      # fewer projected attributes -> cheaper
+    assert q2c["hail_rr_ms"] < q1a["hail_rr_ms"]
+    for row in result.rows:
+        assert row["hail_rr_ms"] * 5 < row["hadoop_rr_ms"]
+    # Hadoop++'s row layout gives it an edge for the most selective queries (no PAX seeks).
+    assert q2a["hadoopplusplus_rr_ms"] < q2a["hail_rr_ms"] * 1.5
+
+    # (c) overhead dominates.
+    for row in result.rows:
+        assert row["hail_overhead_s"] > 0.7 * row["hail_runtime_s"]

@@ -1,0 +1,20 @@
+"""Figure 8 benchmark: fault tolerance under a node failure at 50% job progress."""
+
+from conftest import run_figure
+
+from repro.experiments import failover
+
+
+def test_fig8_failover(benchmark, config):
+    """Figure 8: HAIL preserves Hadoop's failover behaviour (similar slowdown); indexing the
+    same attribute on every replica (HAIL-1Idx) keeps index scans possible after the failure and
+    therefore shows the smallest slowdown."""
+    result = run_figure(benchmark, failover.fig8, config)
+    rows = {row["system"]: row for row in result.rows}
+    assert set(rows) == {"Hadoop", "HAIL", "HAIL-1Idx"}
+    for row in rows.values():
+        assert row["results_agree"]
+        assert 0.0 <= row["slowdown_pct"] < 60.0
+    assert rows["HAIL-1Idx"]["slowdown_pct"] <= rows["HAIL"]["slowdown_pct"] + 1e-6
+    # HAIL's absolute runtimes stay well below Hadoop's even with the failure.
+    assert rows["HAIL"]["with_failure_s"] < rows["Hadoop"]["with_failure_s"]

@@ -1,0 +1,26 @@
+"""Table 2 benchmarks: upload scale-up across node types."""
+
+from conftest import run_figure
+
+from repro.experiments import scaleup
+
+
+def test_table2a_uservisits_scaleup(benchmark, config):
+    """Table 2(a): on the string-heavy UserVisits data HAIL trails Hadoop on weak EC2 CPUs and
+    approaches it on better hardware."""
+    result = run_figure(benchmark, scaleup.table2a, config)
+    speedups = {row["node_type"]: row["system_speedup"] for row in result.rows}
+    assert speedups["m1.large"] < 1.0
+    assert speedups["m1.large"] <= speedups["m1.xlarge"] + 1e-6
+    assert speedups["physical"] > 0.85
+    # Both systems get faster on better hardware.
+    assert all(row["hadoop_scaleup"] >= 0.99 for row in result.rows)
+    assert all(row["hail_scaleup"] >= 0.99 for row in result.rows)
+
+
+def test_table2b_synthetic_scaleup(benchmark, config):
+    """Table 2(b): on the all-integer Synthetic data HAIL beats Hadoop on every node type."""
+    result = run_figure(benchmark, scaleup.table2b, config)
+    assert all(row["system_speedup"] > 1.0 for row in result.rows)
+    hail_scaleups = [row["hail_scaleup"] for row in result.rows]
+    assert hail_scaleups[-1] >= hail_scaleups[0]

@@ -1,0 +1,38 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment harness (:func:`repro.experiments.run_all`) at the default miniature
+scale and prints one table per figure.  Pass ``--medium`` for a configuration closer to the
+paper's 10-node cluster (takes several minutes).
+
+Run with ``python examples/reproduce_paper.py [--medium]``.
+"""
+
+import argparse
+import time
+
+from repro.experiments import ExperimentConfig, run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--medium",
+        action="store_true",
+        help="use the 10-node 'medium' configuration instead of the fast default",
+    )
+    args = parser.parse_args()
+
+    config = ExperimentConfig.medium() if args.medium else ExperimentConfig.small()
+    print(f"configuration: {config}\n")
+
+    started = time.time()
+    results = run_all(config, progress=lambda key: print(f"[{time.time() - started:6.1f}s] running {key}..."))
+    print(f"\nall experiments finished in {time.time() - started:.1f} s of wall-clock time\n")
+
+    for figure in results.values():
+        print()
+        figure.print()
+
+
+if __name__ == "__main__":
+    main()

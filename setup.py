@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 517 editable installs
+(``pip install -e .``) cannot build an editable wheel.  This ``setup.py`` lets pip fall back to
+the legacy ``setup.py develop`` path (``pip install -e . --no-use-pep517 --no-build-isolation``)
+and also allows ``python setup.py develop`` directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reproduction of "Only Aggressive Elephants are Fast Elephants" (HAIL, VLDB 2012).
+
+The package is organised as a stack of subsystems, mirroring the paper:
+
+- :mod:`repro.cluster`    -- cluster hardware profiles, cost model and simulated clock.
+- :mod:`repro.layouts`    -- record schemas and physical layouts (text row, binary row, PAX).
+- :mod:`repro.hdfs`       -- a functional HDFS substrate (namenode, datanodes, upload pipeline).
+- :mod:`repro.mapreduce`  -- a functional Hadoop MapReduce substrate (splits, scheduling, tasks).
+- :mod:`repro.hail`       -- the paper's contribution: per-replica clustered indexing (HAIL).
+- :mod:`repro.baselines`  -- stock Hadoop and Hadoop++ (trojan index) baselines.
+- :mod:`repro.datagen`    -- UserVisits and Synthetic dataset generators.
+- :mod:`repro.workloads`  -- Bob's query workload and the Synthetic query workload.
+- :mod:`repro.design`     -- per-replica index selection (physical design advisor).
+- :mod:`repro.experiments` -- harnesses regenerating every table and figure of the paper.
+
+Quickstart
+----------
+
+>>> from repro.hail import HailSystem
+>>> from repro.cluster import Cluster, HardwareProfile
+>>> from repro.datagen import UserVisitsGenerator
+>>> from repro.workloads import bob_queries
+>>> cluster = Cluster.homogeneous(4, HardwareProfile.physical())
+>>> hail = HailSystem(cluster, index_attributes=["visitDate", "sourceIP", "adRevenue"])
+>>> rows = UserVisitsGenerator(seed=7).generate(2000)
+>>> report = hail.upload("/logs/uservisits", rows)
+>>> result = hail.run_query(bob_queries()[0], "/logs/uservisits")
+>>> len(result.records) > 0
+True
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

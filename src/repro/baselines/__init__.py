@@ -1,0 +1,13 @@
+"""Baseline systems the paper compares HAIL against.
+
+- :class:`HadoopSystem` — stock Hadoop MapReduce over stock HDFS: text uploads, full scans.
+- :class:`HadoopPlusPlusSystem` — Hadoop++ (Dittrich et al., PVLDB 2010): after a stock upload,
+  two additional MapReduce jobs convert every block to a binary layout and build one *trojan*
+  index per logical block (the same index on every replica), which makes index creation very
+  expensive but enables index scans for the single indexed attribute.
+"""
+
+from repro.baselines.hadoop import HadoopSystem
+from repro.baselines.hadoopplusplus import HadoopPlusPlusSystem
+
+__all__ = ["HadoopSystem", "HadoopPlusPlusSystem"]

@@ -1,0 +1,71 @@
+"""Stock Hadoop: text uploads, full-scan queries.
+
+This is the paper's primary baseline.  Uploads go through the standard HDFS pipeline
+(byte-identical text replicas); queries are MapReduce jobs whose map function splits each text
+line into attributes, applies the selection predicate and emits the projected attributes —
+i.e. the "MAP FUNCTION FOR HADOOP MAPREDUCE" pseudo-code of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdfs.pipeline import StandardUploadPipeline
+from repro.layouts.schema import BadRecordError, Schema
+from repro.mapreduce.input_format import TextInputFormat
+from repro.mapreduce.job import JobConf
+from repro.systems.base import BaseSystem
+
+
+class HadoopSystem(BaseSystem):
+    """Stock Hadoop MapReduce over stock HDFS."""
+
+    name = "Hadoop"
+
+    def _upload_pipeline(self) -> StandardUploadPipeline:
+        return StandardUploadPipeline(self.hdfs, self.cost)
+
+    def _make_jobconf(self, query, path: str, schema: Schema) -> JobConf:
+        mapper = make_scan_mapper(query, schema)
+        return JobConf(
+            name=f"hadoop-{query.name}",
+            input_path=path,
+            mapper=mapper,
+            input_format=TextInputFormat(),
+        )
+
+
+def make_scan_mapper(query, schema: Schema):
+    """Build the classic Hadoop map function for a selection/projection query.
+
+    The function receives ``(byte offset, text line)``, splits the line at the schema delimiter,
+    parses the attributes it needs, applies the predicate and emits the projected attribute
+    values as a typed tuple (so results are comparable across systems).  Rows that do not match
+    the schema are skipped, mirroring what Bob's hand-written parser would do.
+    """
+    predicate = query.predicate
+    clause_info = [
+        (clause, clause.attribute_index(schema), schema.fields[clause.attribute_index(schema)])
+        for clause in predicate.clauses
+    ] if predicate is not None else []
+    projection_names = query.projection if query.projection is not None else schema.field_names
+    projection_info = [
+        (schema.index_of(name), schema.field(name)) for name in projection_names
+    ]
+    delimiter = schema.delimiter
+    expected_arity = len(schema.fields)
+
+    def mapper(key, line: str):
+        parts = line.split(delimiter)
+        if len(parts) != expected_arity:
+            return None
+        try:
+            for clause, index, field in clause_info:
+                if not clause.matches(field.parse(parts[index])):
+                    return None
+            projected = tuple(field.parse(parts[index]) for index, field in projection_info)
+        except BadRecordError:
+            return None
+        return [(None, projected)]
+
+    return mapper

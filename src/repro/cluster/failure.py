@@ -1,0 +1,69 @@
+"""Failure injection for the fault-tolerance experiment (Section 6.4.3).
+
+The paper kills all Java processes on one randomly chosen node after 50% of job progress and
+sets the TaskTracker/datanode expiry interval to 30 seconds.  :class:`FailureInjector`
+reproduces that protocol against the simulated cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.topology import Cluster
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled node failure.
+
+    Attributes
+    ----------
+    node_id:
+        The node that fails.
+    at_progress:
+        Fraction of job progress (0..1) after which the failure strikes.
+    expiry_interval_s:
+        Seconds the framework waits before declaring the node dead (Hadoop's expiry interval).
+    """
+
+    node_id: int
+    at_progress: float
+    expiry_interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_progress <= 1.0:
+            raise ValueError("at_progress must lie in [0, 1]")
+        if self.expiry_interval_s < 0:
+            raise ValueError("expiry interval must be non-negative")
+
+
+class FailureInjector:
+    """Creates :class:`FailureEvent` instances against a cluster."""
+
+    def __init__(self, cluster: Cluster, seed: int = 0) -> None:
+        self._cluster = cluster
+        self._rng = random.Random(seed)
+
+    def random_node_failure(
+        self,
+        at_progress: float = 0.5,
+        expiry_interval_s: float = 30.0,
+        exclude: Optional[set[int]] = None,
+    ) -> FailureEvent:
+        """Pick a random alive node to fail at ``at_progress`` of job progress."""
+        exclude = exclude or set()
+        candidates = [node.node_id for node in self._cluster.alive_nodes if node.node_id not in exclude]
+        if not candidates:
+            raise RuntimeError("no alive node available to fail")
+        node_id = self._rng.choice(candidates)
+        return FailureEvent(node_id=node_id, at_progress=at_progress, expiry_interval_s=expiry_interval_s)
+
+    def node_failure(
+        self, node_id: int, at_progress: float = 0.5, expiry_interval_s: float = 30.0
+    ) -> FailureEvent:
+        """Fail a specific node (deterministic variant used in tests)."""
+        if not self._cluster.has_node(node_id):
+            raise KeyError(f"node {node_id} is not part of the cluster")
+        return FailureEvent(node_id=node_id, at_progress=at_progress, expiry_interval_s=expiry_interval_s)

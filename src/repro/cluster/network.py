@@ -1,0 +1,51 @@
+"""Network cost model: point-to-point transfers inside the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import HardwareProfile
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Charges simulated seconds for moving bytes between nodes.
+
+    Transfers between distinct nodes are bounded by the slower NIC of the two endpoints, plus a
+    small per-transfer latency.  A transfer from a node to itself (short-circuit local read, or
+    the first replica of an upload landing on the client's own datanode) costs only a negligible
+    loop-back latency, matching HDFS behaviour.
+    """
+
+    latency_ms: float = 0.3
+    rack_penalty: float = 1.0
+    off_rack_penalty: float = 1.15
+
+    def transfer(
+        self,
+        num_bytes: float,
+        src: HardwareProfile,
+        dst: HardwareProfile,
+        locality: str = "rack",
+    ) -> float:
+        """Seconds to ship ``num_bytes`` from a node with profile ``src`` to one with ``dst``.
+
+        Parameters
+        ----------
+        locality:
+            ``"node"`` (same machine), ``"rack"`` or ``"off-rack"``; cross-rack transfers pay a
+            modest oversubscription penalty.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        if locality == "node":
+            return self.latency_ms / 1000.0
+        bandwidth = min(src.network_mb_s, dst.network_mb_s)
+        penalty = self.off_rack_penalty if locality == "off-rack" else self.rack_penalty
+        return self.latency_ms / 1000.0 + (num_bytes * penalty) / (bandwidth * _MB)
+
+    def round_trip(self) -> float:
+        """Seconds for one empty round trip (ACK latency in the upload pipeline)."""
+        return 2.0 * self.latency_ms / 1000.0

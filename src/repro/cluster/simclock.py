@@ -1,0 +1,92 @@
+"""Simulated time accounting.
+
+Every operation in the reproduction returns the number of *simulated seconds* it would take on
+the modelled hardware.  :class:`SimClock` accumulates sequential durations;
+:class:`ParallelTimeline` composes durations of work that runs concurrently on different nodes
+(the overall duration of a parallel phase is the maximum over its participants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("simulated time cannot start below zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative) and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by a negative duration ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it lies in the future."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def reset(self) -> None:
+        """Reset the clock to zero."""
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.3f}s)"
+
+
+@dataclass
+class ParallelTimeline:
+    """Duration of a phase whose participants run concurrently.
+
+    Each participant contributes its own duration; the phase completes when the slowest
+    participant finishes.  This is how per-node upload times combine into a cluster-wide upload
+    time, and how map waves combine into a job runtime.
+    """
+
+    durations: dict[object, float] = field(default_factory=dict)
+
+    def add(self, participant: object, seconds: float) -> None:
+        """Add ``seconds`` of work for ``participant`` (accumulates across calls)."""
+        if seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.durations[participant] = self.durations.get(participant, 0.0) + seconds
+
+    def extend(self, items: Iterable[tuple[object, float]]) -> None:
+        """Add many ``(participant, seconds)`` pairs."""
+        for participant, seconds in items:
+            self.add(participant, seconds)
+
+    @property
+    def makespan(self) -> float:
+        """Duration of the whole phase: the maximum participant duration (0 when empty)."""
+        if not self.durations:
+            return 0.0
+        return max(self.durations.values())
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all participants' durations (aggregate resource time)."""
+        return sum(self.durations.values())
+
+    def duration_of(self, participant: object) -> float:
+        """Duration accumulated by one participant (0 when unknown)."""
+        return self.durations.get(participant, 0.0)
+
+    def slowest(self) -> tuple[object, float] | None:
+        """Return ``(participant, seconds)`` of the slowest participant, or ``None`` if empty."""
+        if not self.durations:
+            return None
+        participant = max(self.durations, key=lambda key: self.durations[key])
+        return participant, self.durations[participant]

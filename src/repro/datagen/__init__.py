@@ -1,0 +1,22 @@
+"""Dataset generators for the paper's two benchmark datasets.
+
+- :class:`UserVisitsGenerator` — the UserVisits table of Pavlo et al. (SIGMOD 2009), the web-log
+  dataset behind Bob's use case (20 GB per node in the paper).
+- :class:`SyntheticGenerator` — the Synthetic dataset of 19 integer attributes used to isolate
+  selectivity effects (13 GB per node in the paper).
+- :class:`WebLogGenerator` — a small raw-text log generator that produces a configurable share
+  of malformed rows, used to exercise HAIL's bad-record handling.
+"""
+
+from repro.datagen.uservisits import UserVisitsGenerator, USERVISITS_SCHEMA
+from repro.datagen.synthetic import SyntheticGenerator, SYNTHETIC_SCHEMA
+from repro.datagen.weblog import WebLogGenerator, WEBLOG_SCHEMA
+
+__all__ = [
+    "UserVisitsGenerator",
+    "USERVISITS_SCHEMA",
+    "SyntheticGenerator",
+    "SYNTHETIC_SCHEMA",
+    "WebLogGenerator",
+    "WEBLOG_SCHEMA",
+]

@@ -1,0 +1,13 @@
+"""Physical design: choosing which attribute each replica should index.
+
+Section 3.4 of the paper notes that picking the per-replica indexes is easy when the dataset has
+no more attributes than replicas (Bob simply indexes all of them) but requires an algorithm
+otherwise, and sketches extending the Trojan Layouts algorithm to per-replica clustered indexes
+as future work.  :class:`IndexAdvisor` implements a straightforward workload-driven greedy
+selection so that the library is usable when the number of candidate attributes exceeds the
+replication factor.
+"""
+
+from repro.design.advisor import IndexAdvisor, AdvisorRecommendation
+
+__all__ = ["IndexAdvisor", "AdvisorRecommendation"]

@@ -1,0 +1,49 @@
+"""Scale-out experiment: Figure 5.
+
+The paper uploads both datasets on EC2 ``cc1.4xlarge`` clusters of 10, 50 and 100 nodes while
+keeping the data volume per node constant, and observes that HAIL's upload times stay roughly
+flat (and show less variance than Hadoop's, because HAIL is CPU-bound while Hadoop is exposed to
+EC2's I/O variance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.deployments import build_deployment
+from repro.experiments.report import FigureResult
+
+#: Cluster sizes of the paper's scale-out experiment.
+PAPER_CLUSTER_SIZES = (10, 50, 100)
+
+
+def fig5(
+    config: Optional[ExperimentConfig] = None,
+    cluster_sizes: Sequence[int] = PAPER_CLUSTER_SIZES,
+) -> FigureResult:
+    """Figure 5: upload times for both datasets on 10/50/100-node clusters (constant data/node).
+
+    Expected shape: for each dataset the upload time is roughly independent of the cluster size
+    for both systems, HAIL beats Hadoop on Synthetic and roughly matches it on UserVisits, and
+    HAIL's times vary less across cluster sizes than Hadoop's.
+    """
+    config = config or ExperimentConfig.small()
+    config = config.with_(hardware="cc1.4xlarge")
+    result = FigureResult(
+        figure="Figure 5",
+        description="Scale-out upload times [s] with constant data per node (cc1.4xlarge nodes)",
+        columns=["nodes", "dataset", "hadoop_s", "hail_s"],
+    )
+    for nodes in cluster_sizes:
+        sized = config.with_(nodes=nodes)
+        for dataset, label in (("synthetic", "Synthetic"), ("uservisits", "UserVisits")):
+            deployment = build_deployment(sized, dataset=dataset, systems=("Hadoop", "HAIL"))
+            result.add_row(
+                nodes=nodes,
+                dataset=label,
+                hadoop_s=deployment.upload_reports["Hadoop"].total_s,
+                hail_s=deployment.upload_reports["HAIL"].total_s,
+            )
+    result.notes = "Data per node is constant; the x-axis scales the number of nodes only."
+    return result

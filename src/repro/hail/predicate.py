@@ -1,0 +1,215 @@
+"""Selection predicates.
+
+Bob annotates his map function with a filter such as
+``@3 between(1999-01-01, 2000-01-01)`` (Section 4.1).  A :class:`Predicate` is a conjunction of
+:class:`Comparison` clauses over attributes addressed either by name or by 1-based position
+(``@1`` is the first attribute of the schema).  The predicate both drives index selection (which
+replica to read) and is applied during post-filtering.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.layouts.schema import Field, Schema
+
+AttributeRef = Union[str, int]
+
+
+class Operator(enum.Enum):
+    """Comparison operators supported by HAIL predicates."""
+
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One clause: ``attribute op operand(s)``.
+
+    ``BETWEEN`` is inclusive on both ends, matching SQL and the paper's example query.
+    """
+
+    attribute: AttributeRef
+    op: Operator
+    operands: tuple
+
+    def __post_init__(self) -> None:
+        expected = 2 if self.op == Operator.BETWEEN else 1
+        if len(self.operands) != expected:
+            raise ValueError(
+                f"operator {self.op.value!r} needs {expected} operand(s), got {len(self.operands)}"
+            )
+
+    # ------------------------------------------------------------------ schema binding
+    def attribute_name(self, schema: Schema) -> str:
+        """Resolve the attribute reference to a field name."""
+        if isinstance(self.attribute, int):
+            return schema.field_at_position(self.attribute).name
+        return self.attribute
+
+    def attribute_index(self, schema: Schema) -> int:
+        """Resolve the attribute reference to a 0-based column index."""
+        if isinstance(self.attribute, int):
+            if not 1 <= self.attribute <= len(schema):
+                raise IndexError(f"attribute position @{self.attribute} out of range")
+            return self.attribute - 1
+        return schema.index_of(self.attribute)
+
+    # ------------------------------------------------------------------ evaluation
+    def matches(self, value: Any) -> bool:
+        """True when ``value`` satisfies this clause."""
+        if self.op == Operator.EQ:
+            return value == self.operands[0]
+        if self.op == Operator.LT:
+            return value < self.operands[0]
+        if self.op == Operator.LE:
+            return value <= self.operands[0]
+        if self.op == Operator.GT:
+            return value > self.operands[0]
+        if self.op == Operator.GE:
+            return value >= self.operands[0]
+        low, high = self.operands
+        return low <= value <= high
+
+    def value_range(self) -> tuple[Optional[Any], Optional[Any]]:
+        """``(low, high)`` bounds usable for a clustered-index range lookup (None = open)."""
+        if self.op == Operator.EQ:
+            return self.operands[0], self.operands[0]
+        if self.op in (Operator.LT, Operator.LE):
+            return None, self.operands[0]
+        if self.op in (Operator.GT, Operator.GE):
+            return self.operands[0], None
+        return self.operands[0], self.operands[1]
+
+    def describe(self, schema: Optional[Schema] = None) -> str:
+        """Human-readable form, e.g. ``visitDate between(1999-01-01, 2000-01-01)``."""
+        name = self.attribute_name(schema) if schema is not None else f"@{self.attribute}"
+        if self.op == Operator.BETWEEN:
+            return f"{name} between({self.operands[0]}, {self.operands[1]})"
+        return f"{name} {self.op.value} {self.operands[0]}"
+
+
+class Predicate:
+    """A conjunction of comparison clauses (all must hold)."""
+
+    def __init__(self, clauses: Sequence[Comparison]) -> None:
+        if not clauses:
+            raise ValueError("a predicate needs at least one clause")
+        self.clauses: tuple[Comparison, ...] = tuple(clauses)
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def comparison(cls, attribute: AttributeRef, op: Operator, *operands: Any) -> "Predicate":
+        """Single-clause predicate."""
+        return cls([Comparison(attribute, op, tuple(operands))])
+
+    @classmethod
+    def equals(cls, attribute: AttributeRef, value: Any) -> "Predicate":
+        """``attribute = value``."""
+        return cls.comparison(attribute, Operator.EQ, value)
+
+    @classmethod
+    def between(cls, attribute: AttributeRef, low: Any, high: Any) -> "Predicate":
+        """``attribute BETWEEN low AND high`` (inclusive)."""
+        return cls.comparison(attribute, Operator.BETWEEN, low, high)
+
+    def and_(self, other: "Predicate") -> "Predicate":
+        """Conjunction of this predicate with another one."""
+        return Predicate(self.clauses + other.clauses)
+
+    # ------------------------------------------------------------------ introspection
+    def attributes(self, schema: Schema) -> list[str]:
+        """Filter attribute names, in clause order (duplicates removed)."""
+        seen: list[str] = []
+        for clause in self.clauses:
+            name = clause.attribute_name(schema)
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def clause_for(self, attribute: str, schema: Schema) -> Optional[Comparison]:
+        """The first clause over ``attribute``, or ``None``."""
+        for clause in self.clauses:
+            if clause.attribute_name(schema) == attribute:
+                return clause
+        return None
+
+    # ------------------------------------------------------------------ evaluation
+    def matches(self, record: Sequence[Any], schema: Schema) -> bool:
+        """True when the full record satisfies every clause."""
+        for clause in self.clauses:
+            if not clause.matches(record[clause.attribute_index(schema)]):
+                return False
+        return True
+
+    def describe(self, schema: Optional[Schema] = None) -> str:
+        """Human-readable conjunction."""
+        return " and ".join(clause.describe(schema) for clause in self.clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Predicate({self.describe()})"
+
+
+# ----------------------------------------------------------------------- string parsing
+_CLAUSE_RE = re.compile(
+    r"^\s*(?P<attr>@\d+|[A-Za-z_]\w*)\s*"
+    r"(?P<op>between|>=|<=|=|<|>)\s*"
+    r"(?P<rest>.*)$",
+    re.IGNORECASE,
+)
+
+
+def parse_predicate(text: str, schema: Schema) -> Predicate:
+    """Parse the annotation filter syntax into a typed :class:`Predicate`.
+
+    Supported forms (conjunctions joined with ``and``)::
+
+        @3 between(1999-01-01, 2000-01-01)
+        sourceIP = 172.101.11.46
+        adRevenue >= 1 and adRevenue <= 10
+    """
+    clauses: list[Comparison] = []
+    for raw in re.split(r"\s+and\s+", text.strip(), flags=re.IGNORECASE):
+        match = _CLAUSE_RE.match(raw)
+        if match is None:
+            raise ValueError(f"cannot parse predicate clause: {raw!r}")
+        attribute: AttributeRef = match.group("attr")
+        if isinstance(attribute, str) and attribute.startswith("@"):
+            attribute = int(attribute[1:])
+        op_text = match.group("op").lower()
+        rest = match.group("rest").strip()
+        field = _resolve_field(attribute, schema)
+        if op_text == "between":
+            inner = rest.strip()
+            if inner.startswith("(") and inner.endswith(")"):
+                inner = inner[1:-1]
+            parts = [part.strip() for part in inner.split(",")]
+            if len(parts) != 2:
+                raise ValueError(f"between needs two operands: {raw!r}")
+            operands = tuple(field.parse(part) for part in parts)
+            clauses.append(Comparison(attribute, Operator.BETWEEN, operands))
+        else:
+            op = {
+                "=": Operator.EQ,
+                "<": Operator.LT,
+                "<=": Operator.LE,
+                ">": Operator.GT,
+                ">=": Operator.GE,
+            }[op_text]
+            value = field.parse(rest.strip("'\""))
+            clauses.append(Comparison(attribute, op, (value,)))
+    return Predicate(clauses)
+
+
+def _resolve_field(attribute: AttributeRef, schema: Schema) -> Field:
+    if isinstance(attribute, int):
+        return schema.field_at_position(attribute)
+    return schema.field(attribute)

@@ -1,0 +1,47 @@
+"""``HAILBlockReplicaInfo``: what the namenode's ``Dir_rep`` stores per replica (Section 3.3).
+
+Stock HDFS cannot distinguish replicas — they are byte-equivalent.  HAIL replicas differ in sort
+order, index and even size, so the namenode keeps, per ``(block, datanode)`` pair, the detailed
+information the scheduler and the input format need: indexing key, index type, sizes and
+offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HailBlockReplicaInfo:
+    """Detailed description of one HAIL replica as registered with the namenode."""
+
+    datanode_id: int
+    sort_attribute: Optional[str]
+    indexed_attribute: Optional[str]
+    index_type: str = "sparse_clustered"
+    index_size_bytes: int = 0
+    block_size_bytes: int = 0
+    num_records: int = 0
+    index_offset_bytes: int = 0
+
+    @property
+    def has_index(self) -> bool:
+        """True when this replica carries a usable clustered index."""
+        return self.indexed_attribute is not None
+
+    def covers(self, attribute: str) -> bool:
+        """True when this replica's clustered index is on ``attribute``."""
+        return self.indexed_attribute == attribute
+
+    def describe(self) -> dict:
+        """Dictionary form used by reports."""
+        return {
+            "datanode": self.datanode_id,
+            "sort_attribute": self.sort_attribute,
+            "indexed_attribute": self.indexed_attribute,
+            "index_type": self.index_type,
+            "index_size_bytes": self.index_size_bytes,
+            "block_size_bytes": self.block_size_bytes,
+            "num_records": self.num_records,
+        }

@@ -1,0 +1,68 @@
+"""Index-aware replica selection (the ``getHostsWithIndex`` logic of Section 4.3).
+
+HAIL changes two decisions that stock Hadoop makes purely on data locality and availability:
+
+- which datanode a map task should be scheduled *close to* (the JobTracker's decision), and
+- which replica the record reader should actually *open* (the HDFS client's decision).
+
+Both want the replica whose clustered index matches the job's filter attribute; these helpers
+answer that question from the namenode's ``Dir_rep`` directory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hdfs.namenode import NameNode
+
+
+def choose_indexed_host(
+    namenode: NameNode,
+    block_id: int,
+    attributes: Sequence[str],
+    prefer_node: Optional[int] = None,
+) -> Optional[tuple[int, str]]:
+    """Pick a datanode whose replica of ``block_id`` is indexed on one of ``attributes``.
+
+    Attributes are tried in the given order (the order of the predicate's clauses), so a
+    conjunction like Bob-Q3 (``sourceIP = ... AND visitDate = ...``) uses the first filter
+    attribute for which an index exists.  Among candidate datanodes, ``prefer_node`` wins when
+    it is one of them (data locality), otherwise the namenode's first entry is used.
+
+    Returns ``(datanode_id, attribute)`` or ``None`` when no alive replica has a matching index
+    — in which case HAIL falls back to standard scanning and scheduling.
+    """
+    for attribute in attributes:
+        hosts = namenode.hosts_with_index(block_id, attribute, alive_only=True)
+        if not hosts:
+            continue
+        if prefer_node is not None and prefer_node in hosts:
+            return prefer_node, attribute
+        return hosts[0], attribute
+    return None
+
+
+def index_coverage(namenode: NameNode, path: str, attribute: str) -> float:
+    """Fraction of the file's blocks that have at least one alive replica indexed on ``attribute``.
+
+    1.0 right after a HAIL upload that configured an index on ``attribute``; it drops below 1.0
+    when datanodes fail (the situation of the fault-tolerance experiment, Figure 8).
+    """
+    block_ids = namenode.file_blocks(path)
+    if not block_ids:
+        return 0.0
+    covered = sum(
+        1 for block_id in block_ids if namenode.hosts_with_index(block_id, attribute, alive_only=True)
+    )
+    return covered / len(block_ids)
+
+
+def replica_distribution(namenode: NameNode, path: str) -> dict[str, int]:
+    """How many replicas of the file are indexed on each attribute (``None`` = unindexed)."""
+    histogram: dict[str, int] = {}
+    for block_id in namenode.file_blocks(path):
+        for datanode_id in namenode.block_datanodes(block_id, alive_only=False):
+            info = namenode.replica_info(block_id, datanode_id)
+            key = getattr(info, "indexed_attribute", None) if info is not None else None
+            histogram[str(key)] = histogram.get(str(key), 0) + 1
+    return histogram

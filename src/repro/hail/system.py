@@ -1,0 +1,87 @@
+"""The HAIL system facade: upload with per-replica indexes, query with index-aware MapReduce."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.costmodel import CostModel, CostParameters
+from repro.cluster.topology import Cluster
+from repro.hail.annotation import JOB_PROPERTY, HailQuery
+from repro.hail.config import HailConfig
+from repro.hail.input_format import HailInputFormat
+from repro.hail.scheduler import index_coverage, replica_distribution
+from repro.hail.upload import HailUploadPipeline
+from repro.layouts.schema import Schema
+from repro.mapreduce.job import JobConf
+from repro.systems.base import BaseSystem
+
+
+class HailSystem(BaseSystem):
+    """HDFS + Hadoop MapReduce with the HAIL enhancements enabled.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to deploy on.
+    index_attributes:
+        Convenience shortcut for ``HailConfig.for_attributes(...)``: one clustered index per
+        replica, in order.  Ignored when an explicit ``config`` is given.
+    config:
+        Full :class:`~repro.hail.config.HailConfig`.
+    cost:
+        Shared cost model; a fresh one calibrated to the config's replication factor is created
+        when omitted.
+    """
+
+    name = "HAIL"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        index_attributes: Optional[Sequence[str]] = None,
+        config: Optional[HailConfig] = None,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if config is None:
+            config = HailConfig.for_attributes(tuple(index_attributes or ()))
+        self.config = config
+        if cost is None:
+            cost = CostModel(CostParameters(replication=config.replication))
+        super().__init__(cluster, cost=cost, replication=config.replication)
+
+    # ------------------------------------------------------------------ upload
+    def _upload_pipeline(self) -> HailUploadPipeline:
+        return HailUploadPipeline(self.hdfs, self.cost, self.config)
+
+    def num_indexes(self) -> int:
+        return self.config.num_indexes
+
+    # ------------------------------------------------------------------ queries
+    def _make_jobconf(self, query, path: str, schema: Schema) -> JobConf:
+        annotation = HailQuery(
+            filter=query.predicate,
+            projection=tuple(query.projection) if query.projection is not None else None,
+        )
+
+        def mapper(key, record):
+            if record.bad:
+                return None
+            return [(None, record.as_tuple())]
+
+        jobconf = JobConf(
+            name=f"hail-{query.name}",
+            input_path=path,
+            mapper=mapper,
+            input_format=HailInputFormat(self.config),
+        )
+        jobconf.properties[JOB_PROPERTY] = annotation
+        return jobconf
+
+    # ------------------------------------------------------------------ introspection
+    def index_coverage(self, path: str, attribute: str) -> float:
+        """Fraction of blocks with an alive replica indexed on ``attribute``."""
+        return index_coverage(self.hdfs.namenode, path, attribute)
+
+    def replica_distribution(self, path: str) -> dict[str, int]:
+        """Histogram of replicas per indexed attribute for an uploaded dataset."""
+        return replica_distribution(self.hdfs.namenode, path)

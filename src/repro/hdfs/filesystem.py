@@ -1,0 +1,124 @@
+"""The HDFS facade: one namenode plus one datanode per cluster node.
+
+`Hdfs` wires the namenode and datanodes to a :class:`~repro.cluster.topology.Cluster` and gives
+uploaders and record readers a single object to talk to.  It is deliberately thin — the
+interesting behaviour lives in the upload pipelines (:mod:`repro.hdfs.pipeline`,
+:mod:`repro.hail.upload`) and in the MapReduce substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.topology import Cluster
+from repro.hdfs.block import LogicalBlock, Replica
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.errors import ReplicaNotFoundError
+from repro.hdfs.namenode import NameNode
+from repro.layouts.schema import Schema
+
+
+@dataclass
+class DataFile:
+    """A client-side file to be uploaded: typed records plus their schema.
+
+    ``raw_lines`` optionally carries unparsed text rows (including rows that will turn out to be
+    bad records); when absent, the text representation is derived from ``records``.
+    """
+
+    path: str
+    schema: Schema
+    records: list[tuple]
+    raw_lines: Optional[list[str]] = None
+
+    @property
+    def num_records(self) -> int:
+        """Number of typed records in the file."""
+        return len(self.records)
+
+    def text_lines(self) -> list[str]:
+        """The text rows of the file (what a stock HDFS upload would store)."""
+        if self.raw_lines is not None:
+            return list(self.raw_lines)
+        return [self.schema.format_record(record) for record in self.records]
+
+    def partition_records(self, rows_per_block: int) -> list[list[tuple]]:
+        """Split the typed records into block-sized groups, never splitting a row."""
+        if rows_per_block <= 0:
+            raise ValueError("rows_per_block must be positive")
+        return [
+            self.records[i : i + rows_per_block]
+            for i in range(0, len(self.records), rows_per_block)
+        ] or [[]]
+
+    def partition_lines(self, rows_per_block: int) -> list[list[str]]:
+        """Split the raw text lines into block-sized groups (for raw uploads with bad records)."""
+        if rows_per_block <= 0:
+            raise ValueError("rows_per_block must be positive")
+        if self.raw_lines is None:
+            raise ValueError("this DataFile carries no raw lines")
+        return [
+            self.raw_lines[i : i + rows_per_block]
+            for i in range(0, len(self.raw_lines), rows_per_block)
+        ] or [[]]
+
+
+class Hdfs:
+    """A simulated HDFS deployment: cluster + namenode + datanodes."""
+
+    def __init__(self, cluster: Cluster, cost: CostModel, replication: Optional[int] = None) -> None:
+        self.cluster = cluster
+        self.cost = cost
+        replication = replication if replication is not None else cost.params.replication
+        self.namenode = NameNode(cluster, replication=replication)
+        self.datanodes: Dict[int, DataNode] = {
+            node.node_id: DataNode(node) for node in cluster.nodes
+        }
+
+    # ------------------------------------------------------------------ datanode access
+    def datanode(self, node_id: int) -> DataNode:
+        """The datanode running on ``node_id``."""
+        return self.datanodes[node_id]
+
+    def alive_datanodes(self) -> list[DataNode]:
+        """All datanodes whose host node is alive."""
+        return [dn for dn in self.datanodes.values() if dn.is_alive]
+
+    # ------------------------------------------------------------------ replica access
+    def read_replica(self, block_id: int, datanode_id: int) -> Replica:
+        """Fetch the replica of ``block_id`` stored on ``datanode_id``."""
+        return self.datanode(datanode_id).replica(block_id)
+
+    def any_replica(self, block_id: int, prefer_node: Optional[int] = None) -> Replica:
+        """Fetch some alive replica of ``block_id``, preferring ``prefer_node`` when it has one."""
+        hosts = self.namenode.block_datanodes(block_id, alive_only=True)
+        if not hosts:
+            raise ReplicaNotFoundError(f"no alive replica of block {block_id}")
+        if prefer_node is not None and prefer_node in hosts:
+            return self.read_replica(block_id, prefer_node)
+        return self.read_replica(block_id, hosts[0])
+
+    # ------------------------------------------------------------------ file level helpers
+    def file_blocks(self, path: str) -> list[LogicalBlock]:
+        """The logical blocks of a file, in order."""
+        return [self.namenode.logical_block(bid) for bid in self.namenode.file_blocks(path)]
+
+    def file_records(self, path: str) -> list[tuple]:
+        """All typed records of a file, in block order (ground truth for tests)."""
+        records: list[tuple] = []
+        for block in self.file_blocks(path):
+            records.extend(block.records)
+        return records
+
+    def total_stored_bytes(self) -> int:
+        """Total replica bytes stored across all datanodes (the paper's disk-space argument)."""
+        return sum(dn.used_bytes for dn in self.datanodes.values())
+
+    def describe(self) -> dict:
+        """Summary of the deployment for reports."""
+        info = self.namenode.describe()
+        info["stored_bytes"] = self.total_stored_bytes()
+        info["datanodes"] = len(self.datanodes)
+        return info

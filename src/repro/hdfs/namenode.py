@@ -1,0 +1,196 @@
+"""The HDFS namenode.
+
+The namenode keeps the file namespace and ``Dir_block``: the mapping from block id to the set of
+datanodes storing a replica of it (Section 3.3).  Stock HDFS treats all replicas of a block as
+byte-equivalent; HAIL adds a second directory ``Dir_rep`` mapping ``(block id, datanode)`` to a
+``HAILBlockReplicaInfo`` describing the sort order and clustered index of that particular
+replica, which is what allows the MapReduce scheduler to route map tasks to the replica with the
+matching index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.cluster.topology import Cluster
+from repro.hdfs.block import BlockLocation, LogicalBlock
+from repro.hdfs.errors import (
+    BlockNotFoundError,
+    FileAlreadyExistsError,
+    FileNotFoundInHdfsError,
+)
+
+
+class NameNode:
+    """Central metadata service: namespace, block directory, and HAIL's replica directory."""
+
+    def __init__(self, cluster: Cluster, replication: int = 3) -> None:
+        if replication < 1:
+            raise ValueError("replication factor must be at least 1")
+        self._cluster = cluster
+        self.replication = replication
+        self._next_block_id = 0
+        #: path -> ordered list of block ids
+        self._files: Dict[str, List[int]] = {}
+        #: Dir_block: block id -> ordered list of datanode ids holding a replica
+        self._dir_block: Dict[int, List[int]] = {}
+        #: block id -> logical block metadata (path, record counts)
+        self._blocks: Dict[int, LogicalBlock] = {}
+        #: Dir_rep: (block id, datanode id) -> HAILBlockReplicaInfo (opaque to stock HDFS)
+        self._dir_rep: Dict[tuple[int, int], Any] = {}
+
+    # ------------------------------------------------------------------ namespace
+    def create_file(self, path: str) -> None:
+        """Create an empty file entry; HDFS files are write-once."""
+        if path in self._files:
+            raise FileAlreadyExistsError(f"path already exists in HDFS: {path!r}")
+        self._files[path] = []
+
+    def file_exists(self, path: str) -> bool:
+        """True if ``path`` is a file in the namespace."""
+        return path in self._files
+
+    def list_files(self) -> list[str]:
+        """All file paths, sorted."""
+        return sorted(self._files)
+
+    def delete_file(self, path: str) -> list[int]:
+        """Remove a file and all its block metadata; returns the freed block ids."""
+        block_ids = self._files.pop(path, None)
+        if block_ids is None:
+            raise FileNotFoundInHdfsError(f"no such file: {path!r}")
+        for block_id in block_ids:
+            datanodes = self._dir_block.pop(block_id, [])
+            self._blocks.pop(block_id, None)
+            for datanode_id in datanodes:
+                self._dir_rep.pop((block_id, datanode_id), None)
+        return block_ids
+
+    def file_blocks(self, path: str) -> list[int]:
+        """Ordered block ids of a file."""
+        try:
+            return list(self._files[path])
+        except KeyError:
+            raise FileNotFoundInHdfsError(f"no such file: {path!r}") from None
+
+    # ------------------------------------------------------------------ block allocation
+    def allocate_block(
+        self,
+        path: str,
+        logical_block: LogicalBlock,
+        client_node: Optional[int] = None,
+        replication: Optional[int] = None,
+    ) -> tuple[int, list[int]]:
+        """Allocate a new block for ``path`` and choose the datanodes of its upload pipeline.
+
+        Returns ``(block_id, pipeline)`` where ``pipeline`` lists the datanodes in upload order
+        (DN1 is the first hop of the chain).
+        """
+        if path not in self._files:
+            raise FileNotFoundInHdfsError(f"no such file: {path!r} (create it before writing)")
+        replication = replication if replication is not None else self.replication
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        logical_block.block_id = block_id
+        logical_block.path = path
+        pipeline = self._cluster.choose_replica_nodes(replication, client_node=client_node)
+        self._files[path].append(block_id)
+        self._blocks[block_id] = logical_block
+        self._dir_block[block_id] = []
+        return block_id, pipeline
+
+    def register_replica(
+        self, block_id: int, datanode_id: int, replica_info: Optional[Any] = None
+    ) -> None:
+        """Record that ``datanode_id`` stores a replica of ``block_id``.
+
+        ``replica_info`` is the HAIL extension: a ``HAILBlockReplicaInfo`` describing the sort
+        order, index type and sizes of this particular replica.  Stock uploads pass ``None``.
+        """
+        if block_id not in self._dir_block:
+            raise BlockNotFoundError(f"unknown block id {block_id}")
+        datanodes = self._dir_block[block_id]
+        if datanode_id not in datanodes:
+            datanodes.append(datanode_id)
+        if replica_info is not None:
+            self._dir_rep[(block_id, datanode_id)] = replica_info
+
+    # ------------------------------------------------------------------ lookups
+    def logical_block(self, block_id: int) -> LogicalBlock:
+        """The logical block metadata for ``block_id``."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise BlockNotFoundError(f"unknown block id {block_id}") from None
+
+    def block_datanodes(self, block_id: int, alive_only: bool = True) -> list[int]:
+        """Datanodes of ``Dir_block[block_id]``, optionally filtered to alive nodes."""
+        try:
+            datanodes = self._dir_block[block_id]
+        except KeyError:
+            raise BlockNotFoundError(f"unknown block id {block_id}") from None
+        if not alive_only:
+            return list(datanodes)
+        return [nid for nid in datanodes if self._cluster.node(nid).is_alive]
+
+    def block_locations(self, path: str, alive_only: bool = True) -> list[BlockLocation]:
+        """``BlockLocation[]`` for every block of ``path`` (what the JobClient fetches)."""
+        locations = []
+        for block_id in self.file_blocks(path):
+            block = self._blocks[block_id]
+            hosts = tuple(self.block_datanodes(block_id, alive_only=alive_only))
+            locations.append(
+                BlockLocation(
+                    block_id=block_id,
+                    path=path,
+                    hosts=hosts,
+                    length_bytes=block.text_size_bytes,
+                )
+            )
+        return locations
+
+    # ------------------------------------------------------------------ HAIL extensions (Dir_rep)
+    def register_replica_info(self, block_id: int, datanode_id: int, replica_info: Any) -> None:
+        """Store/replace the ``HAILBlockReplicaInfo`` of one replica."""
+        if block_id not in self._dir_block:
+            raise BlockNotFoundError(f"unknown block id {block_id}")
+        self._dir_rep[(block_id, datanode_id)] = replica_info
+
+    def replica_info(self, block_id: int, datanode_id: int) -> Optional[Any]:
+        """The ``HAILBlockReplicaInfo`` of one replica, or ``None`` for unindexed replicas."""
+        return self._dir_rep.get((block_id, datanode_id))
+
+    def replica_infos(self, block_id: int, alive_only: bool = True) -> dict[int, Any]:
+        """All known replica infos of a block, keyed by datanode id."""
+        infos = {}
+        for datanode_id in self.block_datanodes(block_id, alive_only=alive_only):
+            info = self._dir_rep.get((block_id, datanode_id))
+            if info is not None:
+                infos[datanode_id] = info
+        return infos
+
+    def hosts_with_index(
+        self, block_id: int, attribute: str, alive_only: bool = True
+    ) -> list[int]:
+        """Datanodes whose replica of ``block_id`` has a clustered index on ``attribute``.
+
+        This is the namenode side of the ``getHostsWithIndex`` call HAIL adds to
+        ``BlockLocation`` (Section 4.3).
+        """
+        hosts = []
+        for datanode_id in self.block_datanodes(block_id, alive_only=alive_only):
+            info = self._dir_rep.get((block_id, datanode_id))
+            if info is not None and getattr(info, "indexed_attribute", None) == attribute:
+                hosts.append(datanode_id)
+        return hosts
+
+    # ------------------------------------------------------------------ reporting
+    def describe(self) -> dict:
+        """Namespace and directory sizes (for reports and tests)."""
+        return {
+            "files": len(self._files),
+            "blocks": len(self._blocks),
+            "replica_entries": sum(len(v) for v in self._dir_block.values()),
+            "dir_rep_entries": len(self._dir_rep),
+            "replication": self.replication,
+        }

@@ -1,0 +1,82 @@
+"""Row-oriented layouts: the text layout of stock HDFS uploads and a binary row layout.
+
+Stock Hadoop stores uploaded files verbatim as text; its RecordReader later splits lines and
+attributes at query time.  Hadoop++ converts blocks to a binary *row* layout during its index
+creation job.  HAIL uses the PAX layout in :mod:`repro.layouts.pax` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.layouts import serialization
+from repro.layouts.schema import BadRecordError, Schema
+
+
+class TextRowCodec:
+    """Encode/decode records as delimiter-separated text lines."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def encode(self, records: Iterable[Sequence]) -> str:
+        """Format records as newline-separated text (the payload of a stock HDFS block)."""
+        return "\n".join(self.schema.format_record(record) for record in records)
+
+    def encode_lines(self, records: Iterable[Sequence]) -> list[str]:
+        """Format records as a list of text lines."""
+        return [self.schema.format_record(record) for record in records]
+
+    def decode(self, text: str) -> list[tuple]:
+        """Parse newline-separated text into typed records; bad rows raise.
+
+        Records are delimited by ``\\n`` only, matching Hadoop's TextInputFormat (other Unicode
+        line separators are ordinary characters inside a field).
+        """
+        return [self.schema.parse_line(line) for line in text.split("\n") if line]
+
+    def decode_lenient(self, text: str) -> tuple[list[tuple], list[str]]:
+        """Parse text, separating parseable records from bad records.
+
+        Returns ``(records, bad_lines)`` — the split HAIL performs at upload time.
+        """
+        records: list[tuple] = []
+        bad: list[str] = []
+        for line in text.split("\n"):
+            if not line:
+                continue
+            try:
+                records.append(self.schema.parse_line(line))
+            except BadRecordError:
+                bad.append(line)
+        return records, bad
+
+    def size_bytes(self, records: Iterable[Sequence]) -> int:
+        """Total text size (bytes, including newlines) of the given records."""
+        return sum(self.schema.text_size(record) for record in records)
+
+
+class BinaryRowCodec:
+    """Encode/decode records in a packed binary row layout (used by the Hadoop++ baseline)."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def encode(self, records: Iterable[Sequence]) -> bytes:
+        """Concatenate the binary encodings of all records."""
+        return b"".join(serialization.encode_record(self.schema, record) for record in records)
+
+    def decode(self, payload: bytes, count: int | None = None) -> list[tuple]:
+        """Decode records until ``count`` records were read or the payload is exhausted."""
+        records: list[tuple] = []
+        offset = 0
+        while offset < len(payload):
+            if count is not None and len(records) >= count:
+                break
+            record, offset = serialization.decode_record(self.schema, payload, offset)
+            records.append(record)
+        return records
+
+    def size_bytes(self, records: Iterable[Sequence]) -> int:
+        """Total binary size of the given records."""
+        return sum(self.schema.binary_size(record) for record in records)

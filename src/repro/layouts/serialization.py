@@ -1,0 +1,118 @@
+"""Binary value serialization for blocks.
+
+The HAIL client converts text rows to a binary representation before upload.  These helpers
+implement the value-level encoding: fixed-size types use native ``struct`` packing, variable
+size values (strings) are stored zero-terminated, exactly as described in Section 3.5
+("we store variable-sized attributes as a sequence of zero-terminated values").
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import date
+from typing import Any, Iterable, Sequence
+
+from repro.layouts.schema import Field, FieldType, Schema
+
+_EPOCH = date(1970, 1, 1)
+
+_STRUCT_FORMATS: dict[FieldType, str] = {
+    FieldType.INT: "<i",
+    FieldType.BIGINT: "<q",
+    FieldType.FLOAT: "<f",
+    FieldType.DOUBLE: "<d",
+    FieldType.DATE: "<i",
+}
+
+
+def encode_value(field: Field, value: Any) -> bytes:
+    """Encode one typed value as bytes according to its field type."""
+    ftype = field.ftype
+    if ftype == FieldType.STRING:
+        return str(value).encode("utf-8") + b"\x00"
+    if ftype == FieldType.DATE:
+        value = date_to_days(value)
+    try:
+        return struct.pack(_STRUCT_FORMATS[ftype], value)
+    except struct.error as exc:
+        raise ValueError(f"cannot encode {value!r} for field {field.name!r} ({ftype.value})") from exc
+
+
+def decode_value(field: Field, payload: bytes, offset: int = 0) -> tuple[Any, int]:
+    """Decode one value from ``payload`` starting at ``offset``.
+
+    Returns the decoded value and the offset just past it.
+    """
+    ftype = field.ftype
+    if ftype == FieldType.STRING:
+        end = payload.index(b"\x00", offset)
+        return payload[offset:end].decode("utf-8"), end + 1
+    fmt = _STRUCT_FORMATS[ftype]
+    size = struct.calcsize(fmt)
+    (raw,) = struct.unpack_from(fmt, payload, offset)
+    if ftype == FieldType.DATE:
+        return days_to_date(raw), offset + size
+    return raw, offset + size
+
+
+def encode_record(schema: Schema, record: Sequence[Any]) -> bytes:
+    """Encode one record as a concatenation of its encoded values (binary row layout)."""
+    if len(record) != len(schema.fields):
+        raise ValueError(
+            f"record arity {len(record)} does not match schema {schema.name!r} ({len(schema.fields)})"
+        )
+    return b"".join(encode_value(f, v) for f, v in zip(schema.fields, record))
+
+
+def decode_record(schema: Schema, payload: bytes, offset: int = 0) -> tuple[tuple, int]:
+    """Decode one record from ``payload`` starting at ``offset``."""
+    values = []
+    for field in schema.fields:
+        value, offset = decode_value(field, payload, offset)
+        values.append(value)
+    return tuple(values), offset
+
+
+def encode_column(field: Field, values: Iterable[Any]) -> bytes:
+    """Encode a whole column (used by the PAX minipage serialization)."""
+    return b"".join(encode_value(field, v) for v in values)
+
+
+def decode_column(field: Field, payload: bytes, count: int) -> list[Any]:
+    """Decode ``count`` values of one column from ``payload``."""
+    values = []
+    offset = 0
+    for _ in range(count):
+        value, offset = decode_value(field, payload, offset)
+        values.append(value)
+    return values
+
+
+def date_to_days(value: Any) -> int:
+    """Convert a date (or pre-converted int) to days since the Unix epoch."""
+    if isinstance(value, date):
+        return (value - _EPOCH).days
+    return int(value)
+
+
+def days_to_date(days: int) -> date:
+    """Convert days since the Unix epoch back to a :class:`datetime.date`."""
+    return date.fromordinal(_EPOCH.toordinal() + int(days))
+
+
+def variable_offsets(field: Field, values: Sequence[Any], partition_size: int) -> list[int]:
+    """Offsets of every ``partition_size``-th value within an encoded variable-size column.
+
+    HAIL stores one offset per logical index partition for variable-size attributes so that a
+    qualifying partition can be located without scanning the whole column (Section 3.5,
+    "Accessing Variable-size Attributes").
+    """
+    if partition_size <= 0:
+        raise ValueError("partition_size must be positive")
+    offsets: list[int] = []
+    position = 0
+    for i, value in enumerate(values):
+        if i % partition_size == 0:
+            offsets.append(position)
+        position += field.binary_size(value)
+    return offsets

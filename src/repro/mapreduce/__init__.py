@@ -1,0 +1,43 @@
+"""A functional Hadoop MapReduce substrate over the simulated cluster.
+
+The package mirrors the Hadoop 0.20 execution pipeline the paper describes in Section 4.2:
+the JobClient computes input splits (by default one split per HDFS block), the JobTracker
+schedules one map task per split onto TaskTrackers honouring data locality, each map task uses a
+RecordReader to pull records out of its block replica and feeds them to the user's map function,
+and (optionally) a shuffle/reduce phase follows.  The scheduling overhead per task — which the
+paper identifies as the dominant cost for short, index-assisted jobs — is charged explicitly by
+the cost model and surfaces in the job report as ``overhead_s``.
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.split import InputSplit
+from repro.mapreduce.input_format import InputFormat, TextInputFormat
+from repro.mapreduce.record_reader import RecordReader, TextRecordReader
+from repro.mapreduce.task import MapTask, MapTaskResult
+from repro.mapreduce.task_tracker import TaskTracker
+from repro.mapreduce.job_client import JobClient
+from repro.mapreduce.job_tracker import JobTracker, ScheduledTask, ScheduleOutcome
+from repro.mapreduce.shuffle import run_reduce_phase, ReducePhaseResult
+from repro.mapreduce.runner import MapReduceRunner
+
+__all__ = [
+    "Counters",
+    "JobConf",
+    "JobResult",
+    "InputSplit",
+    "InputFormat",
+    "TextInputFormat",
+    "RecordReader",
+    "TextRecordReader",
+    "MapTask",
+    "MapTaskResult",
+    "TaskTracker",
+    "JobClient",
+    "JobTracker",
+    "ScheduledTask",
+    "ScheduleOutcome",
+    "run_reduce_phase",
+    "ReducePhaseResult",
+    "MapReduceRunner",
+]

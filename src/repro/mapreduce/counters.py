@@ -1,0 +1,48 @@
+"""Job counters, Hadoop style."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator
+
+
+class Counters:
+    """A named bag of monotonically increasing counters."""
+
+    #: Counter names used by the substrate itself.
+    MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+    MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+    REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+    REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+    BYTES_READ = "BYTES_READ"
+    BAD_RECORDS = "BAD_RECORDS"
+    LAUNCHED_MAP_TASKS = "LAUNCHED_MAP_TASKS"
+    RESCHEDULED_MAP_TASKS = "RESCHEDULED_MAP_TASKS"
+    INDEX_SCANS = "INDEX_SCANS"
+    FULL_SCANS = "FULL_SCANS"
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def increment(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        self._values[name] += amount
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter bag into this one."""
+        for name, amount in other._values.items():
+            self._values[name] += amount
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({dict(self._values)!r})"

@@ -1,0 +1,73 @@
+"""Input formats.
+
+The input format is the user-defined function (UDF) that computes input splits in the JobClient
+and creates record readers in the map tasks.  Keeping both behind a UDF is what lets HAIL change
+the splitting policy and the reader without touching the rest of Hadoop (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.cluster.costmodel import CostModel
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.record_reader import RecordReader, TextRecordReader
+from repro.mapreduce.split import InputSplit
+
+
+class InputFormat(abc.ABC):
+    """Computes input splits and creates record readers."""
+
+    @abc.abstractmethod
+    def get_splits(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel) -> list[InputSplit]:
+        """Logical division of the job's input into per-map-task splits."""
+
+    @abc.abstractmethod
+    def create_record_reader(
+        self,
+        split: InputSplit,
+        hdfs: Hdfs,
+        jobconf: JobConf,
+        cost: CostModel,
+        node_id: int,
+    ) -> RecordReader:
+        """Record reader for one split, executing on ``node_id``."""
+
+    def split_phase_cost(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel, num_blocks: int) -> float:
+        """Extra JobClient-side cost of computing splits.
+
+        Stock Hadoop and HAIL only consult namenode metadata; Hadoop++ must read a header from
+        every block, which it pays here (Section 6.4.1 explains why HAIL starts earlier).
+        """
+        return cost.split_phase(num_blocks, reads_block_headers=False)
+
+
+class TextInputFormat(InputFormat):
+    """Stock Hadoop input format: one split per block, full-scan text record reader."""
+
+    def get_splits(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel) -> list[InputSplit]:
+        locations = hdfs.namenode.block_locations(jobconf.input_path, alive_only=True)
+        splits = []
+        for i, location in enumerate(locations):
+            splits.append(
+                InputSplit(
+                    split_id=i,
+                    path=jobconf.input_path,
+                    block_ids=(location.block_id,),
+                    locations=location.get_hosts(),
+                    length_bytes=location.length_bytes,
+                )
+            )
+        return splits
+
+    def create_record_reader(
+        self,
+        split: InputSplit,
+        hdfs: Hdfs,
+        jobconf: JobConf,
+        cost: CostModel,
+        node_id: int,
+    ) -> RecordReader:
+        return TextRecordReader(split, hdfs, cost, node_id)

@@ -1,0 +1,88 @@
+"""Job configuration and job results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.mapreduce.counters import Counters
+
+#: A map function: ``mapper(key, value) -> iterable of (key, value) pairs`` (or ``None``).
+Mapper = Callable[[Any, Any], Optional[Iterable[tuple]]]
+#: A reduce function: ``reducer(key, values) -> iterable of (key, value) pairs`` (or ``None``).
+Reducer = Callable[[Any, list], Optional[Iterable[tuple]]]
+
+
+def identity_mapper(key: Any, value: Any) -> Iterable[tuple]:
+    """Default mapper: pass the record through unchanged."""
+    return [(key, value)]
+
+
+@dataclass
+class JobConf:
+    """Configuration of one MapReduce job.
+
+    ``input_format`` is an instance of :class:`~repro.mapreduce.input_format.InputFormat`; Bob
+    switches it to ``HailInputFormat`` to run on HAIL (Section 4.1, change 1).  ``properties``
+    carries free-form configuration, notably the ``hail.query`` annotation when the selection
+    predicate and projection are given through the job configuration instead of the map-function
+    annotation.
+    """
+
+    name: str
+    input_path: str
+    mapper: Mapper = identity_mapper
+    reducer: Optional[Reducer] = None
+    num_reduce_tasks: int = 0
+    input_format: Any = None
+    properties: dict = field(default_factory=dict)
+
+    def with_property(self, key: str, value: Any) -> "JobConf":
+        """Set a configuration property and return ``self`` (chaining helper)."""
+        self.properties[key] = value
+        return self
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MapReduce job."""
+
+    job_name: str
+    output: list[tuple]
+    runtime_s: float
+    ideal_time_s: float
+    num_map_tasks: int
+    num_waves: int
+    avg_record_reader_s: float
+    max_record_reader_s: float
+    total_record_reader_s: float
+    map_phase_s: float
+    reduce_phase_s: float
+    split_phase_s: float
+    counters: Counters
+    task_results: list = field(default_factory=list)
+    failure_node: Optional[int] = None
+    rescheduled_tasks: int = 0
+
+    @property
+    def overhead_s(self) -> float:
+        """Framework overhead: end-to-end runtime minus the ideal execution time (Section 6.4.1)."""
+        return max(0.0, self.runtime_s - self.ideal_time_s)
+
+    @property
+    def records(self) -> list:
+        """Only the output values (the projected tuples for query-style jobs)."""
+        return [value for _, value in self.output]
+
+    def summary(self) -> dict:
+        """Compact summary for reports."""
+        return {
+            "job": self.job_name,
+            "runtime_s": round(self.runtime_s, 3),
+            "ideal_s": round(self.ideal_time_s, 3),
+            "overhead_s": round(self.overhead_s, 3),
+            "map_tasks": self.num_map_tasks,
+            "waves": self.num_waves,
+            "avg_rr_ms": round(self.avg_record_reader_s * 1000.0, 3),
+            "output_records": len(self.output),
+        }

@@ -1,0 +1,245 @@
+"""The JobTracker: schedules map tasks onto TaskTracker slots and simulates the map phase.
+
+The scheduler follows Hadoop's behaviour at the level of abstraction that matters for the
+paper's results:
+
+- every TaskTracker offers a fixed number of map slots; whenever a slot frees up, the scheduler
+  hands it the next task, preferring a task whose input split is local to that node
+  (data-locality scheduling, Section 4.2);
+- every task pays a fixed scheduling/launch overhead on top of its record-reader and map time,
+  which is the framework overhead that dominates short index-assisted jobs (Section 6.4.1);
+- on a node failure, running tasks of that node are lost, the failure is only noticed after the
+  expiry interval, and the lost tasks are re-executed on other nodes (Section 6.4.3).  Map tasks
+  that re-execute may have to fall back to another replica — possibly one without the matching
+  index, which is exactly the HAIL vs. HAIL-1Idx difference in Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.failure import FailureEvent
+from repro.cluster.topology import Cluster
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.task import MapTask, MapTaskResult
+from repro.mapreduce.task_tracker import TaskTracker
+
+#: How many queued tasks the scheduler inspects when looking for a node-local task.
+_LOCALITY_SEARCH_WINDOW = 256
+
+
+@dataclass
+class ScheduledTask:
+    """One (possibly re-executed) task attempt placed on the simulated timeline."""
+
+    task: MapTask
+    node_id: int
+    start_s: float
+    finish_s: float
+    result: MapTaskResult
+    attempt: int = 1
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration of the attempt including scheduling overhead."""
+        return self.finish_s - self.start_s
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of simulating the map phase."""
+
+    scheduled: list[ScheduledTask]
+    makespan_s: float
+    num_slots: int
+    rescheduled: int = 0
+    failure_node: Optional[int] = None
+
+    @property
+    def successful(self) -> list[ScheduledTask]:
+        """Attempts whose output counts (lost attempts are excluded)."""
+        return self.scheduled
+
+
+@dataclass
+class _Slot:
+    node_id: int
+    slot_index: int
+    available_s: float = 0.0
+    dead: bool = False
+
+
+@dataclass
+class _QueuedTask:
+    task: MapTask
+    attempt: int = 1
+    not_before_s: float = 0.0
+
+
+class JobTracker:
+    """Simulates data-local, slot-based map scheduling with optional failure injection."""
+
+    def __init__(self, cluster: Cluster, hdfs: Hdfs, cost: CostModel) -> None:
+        self.cluster = cluster
+        self.hdfs = hdfs
+        self.cost = cost
+
+    # ------------------------------------------------------------------ public API
+    def task_trackers(self) -> list[TaskTracker]:
+        """One TaskTracker per alive node with the configured number of map slots."""
+        slots = self.cost.params.map_slots_per_node
+        return [TaskTracker(node=node, map_slots=slots) for node in self.cluster.alive_nodes]
+
+    def run_map_phase(
+        self,
+        tasks: list[MapTask],
+        counters: Counters,
+        failure: Optional[FailureEvent] = None,
+        kill_time_s: Optional[float] = None,
+    ) -> ScheduleOutcome:
+        """Functionally execute and temporally schedule all map tasks.
+
+        ``failure``/``kill_time_s`` inject a node failure at an absolute map-phase time; the
+        caller (the runner) derives ``kill_time_s`` from the job progress fraction.
+        """
+        slots = [
+            _Slot(node_id=tracker.node_id, slot_index=i)
+            for tracker in self.task_trackers()
+            for i in range(tracker.map_slots)
+        ]
+        if not slots:
+            raise RuntimeError("no alive TaskTracker slots available")
+        queue: Deque[_QueuedTask] = deque(_QueuedTask(task) for task in tasks)
+        scheduled: list[ScheduledTask] = []
+        lost: list[ScheduledTask] = []
+        failure_node = failure.node_id if failure is not None else None
+        failure_handled = failure is None
+        rescheduled = 0
+
+        while queue:
+            slot = self._next_slot(slots)
+            if slot is None:
+                raise RuntimeError("scheduler ran out of usable slots with tasks still queued")
+            queued = self._pick_task(queue, slot)
+            start = max(slot.available_s, queued.not_before_s)
+
+            if not failure_handled and kill_time_s is not None and start >= kill_time_s:
+                # The failure strikes before this assignment: kill the node, requeue its losses.
+                rescheduled += self._apply_failure(
+                    failure, kill_time_s, slots, scheduled, lost, queue, counters
+                )
+                failure_handled = True
+                if slot.dead:
+                    queue.appendleft(queued)
+                    continue
+                start = max(slot.available_s, queued.not_before_s)
+
+            result = queued.task.run(self.hdfs, self.cost, slot.node_id, counters)
+            duration = self.cost.task_overhead() + result.compute_seconds
+            finish = start + duration
+            slot.available_s = finish
+            counters.increment(Counters.LAUNCHED_MAP_TASKS)
+            scheduled.append(
+                ScheduledTask(
+                    task=queued.task,
+                    node_id=slot.node_id,
+                    start_s=start,
+                    finish_s=finish,
+                    result=result,
+                    attempt=queued.attempt,
+                )
+            )
+
+        makespan = max((st.finish_s for st in scheduled), default=0.0)
+
+        if not failure_handled and kill_time_s is not None and kill_time_s < makespan:
+            # The failure strikes while the last wave is running: requeue and drain once more.
+            rescheduled += self._apply_failure(
+                failure, kill_time_s, slots, scheduled, lost, queue, counters
+            )
+            failure_handled = True
+            while queue:
+                slot = self._next_slot(slots)
+                if slot is None:
+                    raise RuntimeError("no usable slots left to re-execute lost tasks")
+                queued = self._pick_task(queue, slot)
+                start = max(slot.available_s, queued.not_before_s)
+                result = queued.task.run(self.hdfs, self.cost, slot.node_id, counters)
+                duration = self.cost.task_overhead() + result.compute_seconds
+                finish = start + duration
+                slot.available_s = finish
+                counters.increment(Counters.LAUNCHED_MAP_TASKS)
+                scheduled.append(
+                    ScheduledTask(
+                        task=queued.task,
+                        node_id=slot.node_id,
+                        start_s=start,
+                        finish_s=finish,
+                        result=result,
+                        attempt=queued.attempt,
+                    )
+                )
+            makespan = max((st.finish_s for st in scheduled), default=0.0)
+
+        return ScheduleOutcome(
+            scheduled=scheduled,
+            makespan_s=makespan,
+            num_slots=len([slot for slot in slots if not slot.dead]) or len(slots),
+            rescheduled=rescheduled,
+            failure_node=failure_node,
+        )
+
+    # ------------------------------------------------------------------ internals
+    @staticmethod
+    def _next_slot(slots: list[_Slot]) -> Optional[_Slot]:
+        usable = [slot for slot in slots if not slot.dead]
+        if not usable:
+            return None
+        return min(usable, key=lambda slot: slot.available_s)
+
+    @staticmethod
+    def _pick_task(queue: Deque[_QueuedTask], slot: _Slot) -> _QueuedTask:
+        """Prefer a task whose split is local to the slot's node (data-locality scheduling)."""
+        for position, queued in enumerate(queue):
+            if position >= _LOCALITY_SEARCH_WINDOW:
+                break
+            if slot.node_id in queued.task.split.locations:
+                del queue[position]
+                return queued
+        return queue.popleft()
+
+    def _apply_failure(
+        self,
+        failure: FailureEvent,
+        kill_time_s: float,
+        slots: list[_Slot],
+        scheduled: list[ScheduledTask],
+        lost: list[ScheduledTask],
+        queue: Deque[_QueuedTask],
+        counters: Counters,
+    ) -> int:
+        """Kill the failure node, discard its in-flight attempts, requeue them after expiry."""
+        if self.cluster.node(failure.node_id).is_alive:
+            self.cluster.kill_node(failure.node_id)
+        for slot in slots:
+            if slot.node_id == failure.node_id:
+                slot.dead = True
+        not_before = kill_time_s + failure.expiry_interval_s
+        still_valid: list[ScheduledTask] = []
+        requeued = 0
+        for attempt in scheduled:
+            if attempt.node_id == failure.node_id and attempt.finish_s > kill_time_s:
+                lost.append(attempt)
+                queue.append(
+                    _QueuedTask(task=attempt.task, attempt=attempt.attempt + 1, not_before_s=not_before)
+                )
+                counters.increment(Counters.RESCHEDULED_MAP_TASKS)
+                requeued += 1
+            else:
+                still_valid.append(attempt)
+        scheduled[:] = still_valid
+        return requeued

@@ -1,0 +1,96 @@
+"""Record readers.
+
+A record reader turns the blocks of an input split into ``(key, value)`` records and is also
+where this reproduction charges the per-task I/O and CPU cost ("RecordReader time" in Figures
+6(b) and 7(b) — footnote 8 of the paper defines it as the time a map task takes to read *and
+process* its input).
+
+:class:`TextRecordReader` is the stock Hadoop reader: it always reads the whole block from the
+closest replica and emits ``(byte offset, text line)`` pairs; splitting the line into attributes
+is the map function's job, but its CPU cost is part of processing the input and is charged here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+from repro.cluster.costmodel import CostModel
+from repro.hdfs.block import Replica, TextBlockPayload
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.split import InputSplit
+
+
+class RecordReader(abc.ABC):
+    """Iterates the records of one split and accounts the simulated cost of doing so."""
+
+    def __init__(self, split: InputSplit, hdfs: Hdfs, cost: CostModel, node_id: int) -> None:
+        self.split = split
+        self.hdfs = hdfs
+        self.cost = cost
+        self.node_id = node_id
+        #: Simulated seconds spent reading and processing the split's input.
+        self.read_seconds: float = 0.0
+        #: Functional bytes read from disk (scaled by the cost model when charged).
+        self.bytes_read: float = 0.0
+        #: Records handed to the map function.
+        self.records_emitted: int = 0
+        #: True when at least one block was answered with an index scan (HAIL / Hadoop++).
+        self.used_index: bool = False
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[tuple]:
+        """Yield ``(key, value)`` records of the split."""
+
+    # ------------------------------------------------------------------ shared helpers
+    def _select_replica(self, block_id: int, preferred: Optional[int] = None) -> Replica:
+        """Open the best replica of a block: preferred datanode, else local, else any alive."""
+        namenode = self.hdfs.namenode
+        hosts = namenode.block_datanodes(block_id, alive_only=True)
+        if preferred is not None and preferred in hosts:
+            return self.hdfs.read_replica(block_id, preferred)
+        if self.node_id in hosts:
+            return self.hdfs.read_replica(block_id, self.node_id)
+        return self.hdfs.any_replica(block_id)
+
+    def _charge_block_read(self, replica: Replica, num_bytes: float) -> float:
+        """Charge a sequential read of ``num_bytes`` from ``replica`` (remote adds network)."""
+        node = self.hdfs.cluster.node(self.node_id)
+        scaled = self.cost.scale_bytes(num_bytes)
+        seconds = self.cost.disk(node).sequential_read(scaled)
+        if replica.datanode_id != self.node_id:
+            source = self.hdfs.cluster.node(replica.datanode_id)
+            locality = self.hdfs.cluster.locality(replica.datanode_id, self.node_id)
+            seconds += self.cost.network.transfer(scaled, source.hardware, node.hardware, locality)
+        self.bytes_read += num_bytes
+        return seconds
+
+
+class TextRecordReader(RecordReader):
+    """Stock Hadoop reader: full scan of text blocks, one record per line."""
+
+    def __iter__(self) -> Iterator[tuple]:
+        node = self.hdfs.cluster.node(self.node_id)
+        cpu = self.cost.cpu(node)
+        for block_id in self.split.block_ids:
+            replica = self._select_replica(
+                block_id, preferred=self.split.preferred_replicas.get(block_id)
+            )
+            payload = replica.payload
+            if not isinstance(payload, TextBlockPayload):
+                raise TypeError(
+                    f"TextRecordReader expects text replicas, found {payload.layout!r}"
+                )
+            block_bytes = payload.size_bytes()
+            self.read_seconds += self.cost.reader_setup()
+            self.read_seconds += self._charge_block_read(replica, block_bytes)
+            # Finding line boundaries, splitting attributes and building per-row objects is the
+            # CPU side of the full scan.
+            self.read_seconds += cpu.scan_text(
+                self.cost.scale_bytes(block_bytes), self.cost.scale_count(len(payload.lines))
+            )
+            offset = 0
+            for line in payload.lines:
+                self.records_emitted += 1
+                yield offset, line
+                offset += len(line) + 1

@@ -1,0 +1,111 @@
+"""End-to-end MapReduce job execution.
+
+:class:`MapReduceRunner` ties together the JobClient (split phase), the JobTracker (map phase
+scheduling) and the shuffle/reduce phase, and produces a :class:`~repro.mapreduce.job.JobResult`
+with both the functional output and the paper's timing decomposition:
+
+- ``runtime_s``       — end-to-end job runtime (Figures 6(a), 7(a), 9),
+- ``avg_record_reader_s`` — average RecordReader time per map task (Figures 6(b), 7(b)),
+- ``ideal_time_s``    — ``#MapTasks / #ParallelMapTasks * Avg(T_RecordReader)``, the paper's
+  estimate of the useful work (Section 6.4.1),
+- ``overhead_s``      — ``runtime - ideal``, the framework overhead (Figures 6(c), 7(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.failure import FailureEvent
+from repro.cluster.topology import Cluster
+from repro.hdfs.filesystem import Hdfs
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.job_client import JobClient
+from repro.mapreduce.job_tracker import JobTracker, ScheduleOutcome
+from repro.mapreduce.shuffle import run_reduce_phase
+from repro.mapreduce.task import MapTask
+
+
+class MapReduceRunner:
+    """Runs MapReduce jobs against a simulated HDFS deployment."""
+
+    def __init__(self, hdfs: Hdfs, cost: CostModel, cluster: Optional[Cluster] = None) -> None:
+        self.hdfs = hdfs
+        self.cost = cost
+        self.cluster = cluster if cluster is not None else hdfs.cluster
+        self.job_client = JobClient(hdfs, cost)
+        self.job_tracker = JobTracker(self.cluster, hdfs, cost)
+
+    def run(self, jobconf: JobConf, failure: Optional[FailureEvent] = None) -> JobResult:
+        """Execute ``jobconf``; optionally inject a node failure at a job-progress fraction.
+
+        With a failure event the map phase is simulated twice: once undisturbed to learn the
+        baseline makespan (which converts the progress fraction into an absolute kill time), and
+        once with the node dying at that time.  The cluster is restored afterwards.
+        """
+        if failure is None:
+            return self._run_once(jobconf, failure=None, kill_time_s=None)
+
+        baseline = self._run_once(jobconf, failure=None, kill_time_s=None)
+        kill_time = failure.at_progress * baseline.map_phase_s
+        try:
+            return self._run_once(jobconf, failure=failure, kill_time_s=kill_time)
+        finally:
+            self.cluster.node(failure.node_id).revive()
+
+    # ------------------------------------------------------------------ internals
+    def _run_once(
+        self,
+        jobconf: JobConf,
+        failure: Optional[FailureEvent],
+        kill_time_s: Optional[float],
+    ) -> JobResult:
+        counters = Counters()
+        plan = self.job_client.compute_splits(jobconf)
+        tasks = [MapTask(task_id=i, split=split, jobconf=jobconf) for i, split in enumerate(plan.splits)]
+
+        outcome = self.job_tracker.run_map_phase(
+            tasks, counters, failure=failure, kill_time_s=kill_time_s
+        )
+
+        map_output: list[tuple] = []
+        for attempt in outcome.scheduled:
+            map_output.extend(attempt.result.output)
+
+        reduce_result = run_reduce_phase(map_output, jobconf, self.cluster, self.cost, counters)
+        output = reduce_result.output if jobconf.reducer is not None else map_output
+
+        rr_times = [attempt.result.record_reader_s for attempt in outcome.scheduled]
+        avg_rr = sum(rr_times) / len(rr_times) if rr_times else 0.0
+        max_rr = max(rr_times) if rr_times else 0.0
+        num_slots = max(1, outcome.num_slots)
+        num_tasks = len(tasks)
+        ideal = (num_tasks / num_slots) * avg_rr
+        num_waves = -(-num_tasks // num_slots) if num_tasks else 0
+
+        runtime = (
+            self.cost.job_startup()
+            + plan.split_phase_s
+            + outcome.makespan_s
+            + reduce_result.duration_s
+        )
+
+        return JobResult(
+            job_name=jobconf.name,
+            output=output,
+            runtime_s=runtime,
+            ideal_time_s=ideal,
+            num_map_tasks=num_tasks,
+            num_waves=num_waves,
+            avg_record_reader_s=avg_rr,
+            max_record_reader_s=max_rr,
+            total_record_reader_s=sum(rr_times),
+            map_phase_s=outcome.makespan_s,
+            reduce_phase_s=reduce_result.duration_s,
+            split_phase_s=plan.split_phase_s,
+            counters=counters,
+            task_results=outcome.scheduled,
+            failure_node=outcome.failure_node,
+            rescheduled_tasks=outcome.rescheduled,
+        )

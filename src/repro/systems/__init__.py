@@ -1,0 +1,10 @@
+"""System facades: stock Hadoop, Hadoop++ and HAIL behind one interface.
+
+Every system exposes the same two operations the paper evaluates — uploading a dataset and
+running a (possibly selective) MapReduce query over it — so the experiment harnesses in
+:mod:`repro.experiments` can swap systems freely.
+"""
+
+from repro.systems.base import BaseSystem, QueryResult, SystemUploadReport
+
+__all__ = ["BaseSystem", "QueryResult", "SystemUploadReport"]

@@ -1,0 +1,223 @@
+"""Common facade shared by the three evaluated systems (Hadoop, Hadoop++, HAIL).
+
+A system owns a simulated HDFS deployment plus a MapReduce runner and offers:
+
+- :meth:`BaseSystem.upload` — upload a dataset, with every (alive) node acting as a client for
+  its share of the data, exactly like the paper's upload experiments where each node uploads
+  20 GB/13 GB of locally generated data; and
+- :meth:`BaseSystem.run_query` — run one selection/projection query as a MapReduce job and
+  return both the functional result records and the simulated timing decomposition.
+
+Subclasses only provide their upload pipeline, their input format/mapper wiring, and (for
+Hadoop++) the post-upload index-creation jobs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cluster.costmodel import CostModel, CostParameters
+from repro.cluster.failure import FailureEvent
+from repro.cluster.ledger import TransferLedger
+from repro.cluster.topology import Cluster
+from repro.hdfs.client import HdfsClient
+from repro.hdfs.filesystem import DataFile, Hdfs
+from repro.layouts.schema import Schema
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.runner import MapReduceRunner
+
+
+@dataclass
+class SystemUploadReport:
+    """Upload outcome of one system: duration plus volume accounting."""
+
+    system: str
+    path: str
+    upload_s: float
+    post_processing_s: float
+    num_blocks: int
+    num_records: int
+    source_text_bytes: int
+    stored_bytes: int
+    replication: int
+    num_indexes: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end time until the data is queryable (upload plus any index-creation jobs)."""
+        return self.upload_s + self.post_processing_s
+
+    @property
+    def blowup(self) -> float:
+        """Stored bytes over source bytes (disk-space footprint)."""
+        if self.source_text_bytes == 0:
+            return 0.0
+        return self.stored_bytes / self.source_text_bytes
+
+
+@dataclass
+class QueryResult:
+    """Result of running one query on one system."""
+
+    system: str
+    query_name: str
+    records: list[tuple]
+    job: JobResult
+
+    @property
+    def runtime_s(self) -> float:
+        """End-to-end job runtime (what Figures 6(a), 7(a) and 9 report)."""
+        return self.job.runtime_s
+
+    @property
+    def record_reader_s(self) -> float:
+        """Average RecordReader time per map task (Figures 6(b), 7(b))."""
+        return self.job.avg_record_reader_s
+
+    @property
+    def overhead_s(self) -> float:
+        """Framework overhead (Figures 6(c), 7(c))."""
+        return self.job.overhead_s
+
+    def sorted_records(self) -> list[tuple]:
+        """Records in a canonical order, for cross-system result comparison."""
+        return sorted(self.records, key=repr)
+
+
+class BaseSystem(abc.ABC):
+    """Shared deployment and execution machinery of the three systems."""
+
+    #: Short system name used in reports ("Hadoop", "Hadoop++", "HAIL").
+    name: str = "base"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost: Optional[CostModel] = None,
+        replication: int = 3,
+    ) -> None:
+        self.cluster = cluster
+        if cost is None:
+            cost = CostModel(CostParameters(replication=replication))
+        self.cost = cost
+        self.hdfs = Hdfs(cluster, cost, replication=replication)
+        self.runner = MapReduceRunner(self.hdfs, cost)
+        self._schemas: dict[str, Schema] = {}
+
+    # ------------------------------------------------------------------ upload
+    def upload(
+        self,
+        path: str,
+        records: Sequence[tuple],
+        schema: Schema,
+        rows_per_block: int = 200,
+        client_nodes: Optional[Sequence[int]] = None,
+        raw_lines: Optional[Sequence[str]] = None,
+    ) -> SystemUploadReport:
+        """Upload ``records`` under ``path``; every client node uploads a contiguous share.
+
+        ``raw_lines``, when given, is the unparsed text form of the data (rows that fail schema
+        validation become bad records in systems that parse at upload time).
+        """
+        if self.hdfs.namenode.file_exists(path):
+            raise ValueError(f"path already uploaded: {path!r}")
+        clients = list(client_nodes) if client_nodes is not None else [
+            node.node_id for node in self.cluster.alive_nodes
+        ]
+        if not clients:
+            raise ValueError("no client nodes available for the upload")
+        self.hdfs.namenode.create_file(path)
+        self._schemas[path] = schema
+
+        ledger = TransferLedger(self.cluster, self.cost)
+        pipeline = self._upload_pipeline()
+        stored_before = self.hdfs.total_stored_bytes()
+        source_bytes = 0
+        num_blocks = 0
+
+        record_shares = _partition(list(records), len(clients))
+        line_shares = _partition(list(raw_lines), len(clients)) if raw_lines is not None else None
+        for position, client_node in enumerate(clients):
+            share = record_shares[position]
+            lines = line_shares[position] if line_shares is not None else None
+            if not share and not lines:
+                continue
+            client = HdfsClient(self.hdfs, self.cost, pipeline, client_node=client_node)
+            datafile = DataFile(path=path, schema=schema, records=share, raw_lines=lines)
+            report = client.upload(
+                datafile, rows_per_block=rows_per_block, ledger=ledger, create_file=False
+            )
+            source_bytes += report.source_text_bytes
+            num_blocks += report.num_blocks
+
+        upload_s = ledger.makespan()
+        post_s = self._post_upload(path, schema)
+        return SystemUploadReport(
+            system=self.name,
+            path=path,
+            upload_s=upload_s,
+            post_processing_s=post_s,
+            num_blocks=num_blocks,
+            num_records=len(records),
+            source_text_bytes=source_bytes,
+            stored_bytes=self.hdfs.total_stored_bytes() - stored_before,
+            replication=self.hdfs.namenode.replication,
+            num_indexes=self.num_indexes(),
+        )
+
+    # ------------------------------------------------------------------ queries
+    def run_query(self, query, path: str, failure: Optional[FailureEvent] = None) -> QueryResult:
+        """Run one workload query (``repro.workloads.Query``) as a MapReduce job."""
+        schema = self.schema_of(path)
+        jobconf = self._make_jobconf(query, path, schema)
+        job = self.runner.run(jobconf, failure=failure)
+        return QueryResult(
+            system=self.name, query_name=query.name, records=job.records, job=job
+        )
+
+    def run_job(self, jobconf: JobConf, failure: Optional[FailureEvent] = None) -> JobResult:
+        """Run an arbitrary MapReduce job on this system's deployment."""
+        return self.runner.run(jobconf, failure=failure)
+
+    def schema_of(self, path: str) -> Schema:
+        """Schema of an uploaded dataset."""
+        try:
+            return self._schemas[path]
+        except KeyError:
+            raise KeyError(f"unknown dataset {path!r}; upload it first") from None
+
+    def num_indexes(self) -> int:
+        """Number of clustered indexes the system creates per block (0 for stock Hadoop)."""
+        return 0
+
+    # ------------------------------------------------------------------ subclass hooks
+    @abc.abstractmethod
+    def _upload_pipeline(self):
+        """The per-block upload pipeline this system uses."""
+
+    @abc.abstractmethod
+    def _make_jobconf(self, query, path: str, schema: Schema) -> JobConf:
+        """Build the MapReduce job that evaluates ``query`` on this system."""
+
+    def _post_upload(self, path: str, schema: Schema) -> float:
+        """Extra seconds of post-upload work (Hadoop++ index-creation jobs); default none."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(nodes={len(self.cluster)})"
+
+
+def _partition(items: list, parts: int) -> list[list]:
+    """Split ``items`` into ``parts`` contiguous, near-equal shares."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(len(items), parts)
+    shares = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        shares.append(items[start : start + size])
+        start += size
+    return shares

@@ -1,0 +1,23 @@
+"""Query workloads of the paper's evaluation.
+
+- :func:`bob_queries` — Bob's five UserVisits queries (Section 6.2), filtering on visitDate,
+  sourceIP and adRevenue.
+- :func:`synthetic_queries` — the six Synthetic queries of Table 1, varying selectivity and the
+  number of projected attributes while always filtering on the same attribute.
+"""
+
+from repro.workloads.query import Query
+from repro.workloads.bob import bob_queries, BOB_INDEX_ATTRIBUTES
+from repro.workloads.synthetic_queries import synthetic_queries, SYNTHETIC_FILTER_ATTRIBUTE
+from repro.workloads.workload import Workload, bob_workload, synthetic_workload
+
+__all__ = [
+    "Query",
+    "bob_queries",
+    "BOB_INDEX_ATTRIBUTES",
+    "synthetic_queries",
+    "SYNTHETIC_FILTER_ATTRIBUTE",
+    "Workload",
+    "bob_workload",
+    "synthetic_workload",
+]

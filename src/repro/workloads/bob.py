@@ -1,0 +1,79 @@
+"""Bob's UserVisits workload (Section 6.2 of the paper).
+
+Bob's five queries filter on three different attributes (visitDate, sourceIP, adRevenue), which
+is exactly the situation HAIL's per-replica indexes are designed for: with the default
+replication factor of three, HAIL indexes all three attributes — one per replica — while
+Hadoop++ can only ever index one of them.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.hail.predicate import Predicate
+from repro.workloads.query import Query
+
+#: The per-replica index configuration the paper uses for HAIL in the Bob experiments.
+BOB_INDEX_ATTRIBUTES: tuple[str, str, str] = ("visitDate", "sourceIP", "adRevenue")
+#: The single attribute Hadoop++ indexes in the Bob experiments (it benefits Q2 and Q3).
+BOB_TROJAN_ATTRIBUTE = "sourceIP"
+
+_PROBE_IP = "172.101.11.46"
+
+
+def bob_queries() -> list[Query]:
+    """Bob-Q1 .. Bob-Q5, with the paper's predicates, projections and stated selectivities."""
+    return [
+        Query(
+            name="Bob-Q1",
+            predicate=Predicate.between("visitDate", date(1999, 1, 1), date(2000, 1, 1)),
+            projection=("sourceIP",),
+            description=(
+                "SELECT sourceIP FROM UserVisits "
+                "WHERE visitDate BETWEEN '1999-01-01' AND '2000-01-01'"
+            ),
+            selectivity=3.1e-2,
+        ),
+        Query(
+            name="Bob-Q2",
+            predicate=Predicate.equals("sourceIP", _PROBE_IP),
+            projection=("searchWord", "duration", "adRevenue"),
+            description=(
+                "SELECT searchWord, duration, adRevenue FROM UserVisits "
+                f"WHERE sourceIP='{_PROBE_IP}'"
+            ),
+            selectivity=3.2e-8,
+        ),
+        Query(
+            name="Bob-Q3",
+            predicate=Predicate.equals("sourceIP", _PROBE_IP).and_(
+                Predicate.equals("visitDate", date(1992, 12, 22))
+            ),
+            projection=("searchWord", "duration", "adRevenue"),
+            description=(
+                "SELECT searchWord, duration, adRevenue FROM UserVisits "
+                f"WHERE sourceIP='{_PROBE_IP}' AND visitDate='1992-12-22'"
+            ),
+            selectivity=6e-9,
+        ),
+        Query(
+            name="Bob-Q4",
+            predicate=Predicate.between("adRevenue", 1.0, 10.0),
+            projection=("searchWord", "duration", "adRevenue"),
+            description=(
+                "SELECT searchWord, duration, adRevenue FROM UserVisits "
+                "WHERE adRevenue>=1 AND adRevenue<=10"
+            ),
+            selectivity=1.7e-2,
+        ),
+        Query(
+            name="Bob-Q5",
+            predicate=Predicate.between("adRevenue", 1.0, 100.0),
+            projection=("searchWord", "duration", "adRevenue"),
+            description=(
+                "SELECT searchWord, duration, adRevenue FROM UserVisits "
+                "WHERE adRevenue>=1 AND adRevenue<=100"
+            ),
+            selectivity=2.04e-1,
+        ),
+    ]

@@ -1,0 +1,48 @@
+"""Query specification shared by all three systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hail.predicate import Predicate
+
+
+@dataclass(frozen=True)
+class Query:
+    """One selection/projection query of a workload.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in figures (``"Bob-Q1"``, ``"Syn-Q2c"``).
+    predicate:
+        The selection predicate (``None`` means a pure scan/projection job).
+    projection:
+        Projected attribute names in output order (``None`` projects every attribute).
+    description:
+        The SQL rendering of the query as printed in the paper.
+    selectivity:
+        The paper's stated selectivity (used for reporting; the functional selectivity on the
+        generated sample data may differ, especially for the needle-in-a-haystack queries).
+    """
+
+    name: str
+    predicate: Optional[Predicate]
+    projection: Optional[tuple[str, ...]]
+    description: str = ""
+    selectivity: Optional[float] = None
+
+    @property
+    def filter_attributes(self) -> tuple[str, ...]:
+        """Names (or ``@position`` strings) the predicate filters on, for display purposes."""
+        if self.predicate is None:
+            return ()
+        names = []
+        for clause in self.predicate.clauses:
+            attribute = clause.attribute
+            names.append(attribute if isinstance(attribute, str) else f"@{attribute}")
+        return tuple(names)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.name}: {self.description or self.predicate}"

@@ -1,0 +1,47 @@
+"""The Synthetic query workload (Table 1 of the paper).
+
+All six queries filter on the *same* attribute (``f1``), so HAIL cannot benefit from having
+different indexes on different replicas — the point of this workload is to isolate the effect of
+selectivity (0.10 vs 0.01) and projectivity (19 / 9 / 1 attributes).
+"""
+
+from __future__ import annotations
+
+from repro.datagen.synthetic import NUM_ATTRIBUTES, VALUE_RANGE, SYNTHETIC_SCHEMA
+from repro.hail.predicate import Operator, Predicate
+from repro.workloads.query import Query
+
+#: The attribute every Synthetic query filters on.
+SYNTHETIC_FILTER_ATTRIBUTE = "f1"
+
+#: (suffix, selectivity, number of projected attributes) per Table 1.
+_TABLE_1: tuple[tuple[str, float, int], ...] = (
+    ("Q1a", 0.10, 19),
+    ("Q1b", 0.10, 9),
+    ("Q1c", 0.10, 1),
+    ("Q2a", 0.01, 19),
+    ("Q2b", 0.01, 9),
+    ("Q2c", 0.01, 1),
+)
+
+
+def synthetic_queries(value_range: int = VALUE_RANGE) -> list[Query]:
+    """Syn-Q1a .. Syn-Q2c with range predicates realising Table 1's selectivities."""
+    queries = []
+    all_attributes = SYNTHETIC_SCHEMA.field_names
+    for suffix, selectivity, projected in _TABLE_1:
+        bound = int(round(selectivity * value_range))
+        projection = tuple(all_attributes[:projected])
+        queries.append(
+            Query(
+                name=f"Syn-{suffix}",
+                predicate=Predicate.comparison(SYNTHETIC_FILTER_ATTRIBUTE, Operator.LT, bound),
+                projection=projection,
+                description=(
+                    f"SELECT {', '.join(projection) if projected < NUM_ATTRIBUTES else '*'} "
+                    f"FROM Synthetic WHERE {SYNTHETIC_FILTER_ATTRIBUTE} < {bound}"
+                ),
+                selectivity=selectivity,
+            )
+        )
+    return queries

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, CostModel, CostParameters, HardwareProfile
+from repro.datagen import SyntheticGenerator, UserVisitsGenerator
+from repro.hdfs import Hdfs
+from repro.layouts import FieldType, Schema
+
+
+@pytest.fixture
+def physical_profile() -> HardwareProfile:
+    """The physical-cluster hardware profile."""
+    return HardwareProfile.physical()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A four-node physical cluster."""
+    return Cluster.homogeneous(4, HardwareProfile.physical(), seed=1)
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    """An unscaled cost model with deterministic variance."""
+    return CostModel(CostParameters(data_scale=1.0, variance_seed=11))
+
+
+@pytest.fixture
+def hdfs(small_cluster, cost_model) -> Hdfs:
+    """An empty HDFS deployment over the small cluster."""
+    return Hdfs(small_cluster, cost_model)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """A small mixed-type schema used by unit tests."""
+    return Schema.of(
+        ("id", FieldType.INT),
+        ("name", FieldType.STRING),
+        ("score", FieldType.DOUBLE),
+        name="simple",
+    )
+
+
+@pytest.fixture
+def simple_records(simple_schema) -> list[tuple]:
+    """Deterministic records for the simple schema."""
+    return [(i, f"name-{i % 7}", round(i * 1.5, 2)) for i in range(60)]
+
+
+@pytest.fixture
+def uservisits_sample() -> list[tuple]:
+    """A small deterministic UserVisits sample with the probe IP present."""
+    return UserVisitsGenerator(seed=3, probe_ip_rate=1 / 200).generate(600)
+
+
+@pytest.fixture
+def synthetic_sample() -> list[tuple]:
+    """A small deterministic Synthetic sample."""
+    return SyntheticGenerator(seed=5).generate(400)

@@ -1,0 +1,55 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.cluster import Cluster, FailureEvent, FailureInjector
+
+
+def test_failure_event_validation():
+    FailureEvent(node_id=1, at_progress=0.5)
+    with pytest.raises(ValueError):
+        FailureEvent(node_id=1, at_progress=1.5)
+    with pytest.raises(ValueError):
+        FailureEvent(node_id=1, at_progress=0.5, expiry_interval_s=-1)
+
+
+def test_random_node_failure_picks_alive_node():
+    cluster = Cluster.homogeneous(5)
+    cluster.kill_node(2)
+    injector = FailureInjector(cluster, seed=7)
+    for _ in range(10):
+        event = injector.random_node_failure()
+        assert event.node_id != 2
+        assert cluster.has_node(event.node_id)
+
+
+def test_random_node_failure_respects_exclusions():
+    cluster = Cluster.homogeneous(4)
+    injector = FailureInjector(cluster, seed=1)
+    event = injector.random_node_failure(exclude={0, 1, 2})
+    assert event.node_id == 3
+
+
+def test_random_node_failure_without_candidates_raises():
+    cluster = Cluster.homogeneous(2)
+    injector = FailureInjector(cluster, seed=1)
+    with pytest.raises(RuntimeError):
+        injector.random_node_failure(exclude={0, 1})
+
+
+def test_deterministic_node_failure():
+    cluster = Cluster.homogeneous(3)
+    injector = FailureInjector(cluster)
+    event = injector.node_failure(1, at_progress=0.25, expiry_interval_s=10.0)
+    assert event.node_id == 1
+    assert event.at_progress == pytest.approx(0.25)
+    assert event.expiry_interval_s == pytest.approx(10.0)
+    with pytest.raises(KeyError):
+        injector.node_failure(99)
+
+
+def test_injector_is_deterministic_given_seed():
+    cluster = Cluster.homogeneous(10)
+    a = [FailureInjector(cluster, seed=3).random_node_failure().node_id for _ in range(1)]
+    b = [FailureInjector(cluster, seed=3).random_node_failure().node_id for _ in range(1)]
+    assert a == b

@@ -1,0 +1,130 @@
+"""Tests for the disk, network and CPU cost models."""
+
+import pytest
+
+from repro.cluster.cpu import CpuModel, CpuRates
+from repro.cluster.disk import DiskModel
+from repro.cluster.hardware import HardwareProfile
+from repro.cluster.network import NetworkModel
+
+_MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def disk() -> DiskModel:
+    return DiskModel(hardware=HardwareProfile.physical())
+
+
+@pytest.fixture
+def cpu() -> CpuModel:
+    return CpuModel(hardware=HardwareProfile.physical())
+
+
+# --------------------------------------------------------------------------- disk
+def test_sequential_read_includes_one_seek(disk):
+    seconds = disk.sequential_read(100 * _MB)
+    expected = disk.seek() + 100 / disk.hardware.disk_read_mb_s
+    assert seconds == pytest.approx(expected, rel=1e-6)
+
+
+def test_sequential_read_zero_bytes_is_free(disk):
+    assert disk.sequential_read(0) == 0.0
+    assert disk.sequential_write(0) == 0.0
+
+
+def test_random_read_charges_requested_seeks(disk):
+    one_seek = disk.random_read(1024, num_seeks=1)
+    three_seeks = disk.random_read(1024, num_seeks=3)
+    assert three_seeks == pytest.approx(one_seek + 2 * disk.seek(), rel=1e-9)
+
+
+def test_mixed_read_write_slower_than_raw_bandwidth(disk):
+    volume = 1024 * _MB
+    mixed = disk.mixed_read_write(volume, volume)
+    raw = (2 * volume) / (disk.hardware.aggregate_disk_read_mb_s * _MB)
+    assert mixed > raw
+
+
+def test_mixed_read_write_monotone_in_volume(disk):
+    assert disk.mixed_read_write(10 * _MB, 10 * _MB) < disk.mixed_read_write(20 * _MB, 20 * _MB)
+
+
+def test_many_streams_share_bandwidth(disk):
+    few = disk.sequential_read(64 * _MB, streams=2)
+    many = disk.sequential_read(64 * _MB, streams=24)
+    assert many > few
+
+
+# --------------------------------------------------------------------------- network
+def test_network_local_transfer_is_latency_only():
+    network = NetworkModel()
+    profile = HardwareProfile.physical()
+    assert network.transfer(100 * _MB, profile, profile, locality="node") == pytest.approx(
+        network.latency_ms / 1000.0
+    )
+
+
+def test_network_transfer_bounded_by_slower_nic():
+    network = NetworkModel()
+    fast = HardwareProfile.ec2_cluster_quad()
+    slow = HardwareProfile.ec2_large()
+    fast_to_slow = network.transfer(100 * _MB, fast, slow)
+    fast_to_fast = network.transfer(100 * _MB, fast, fast)
+    assert fast_to_slow > fast_to_fast
+
+
+def test_network_off_rack_penalty():
+    network = NetworkModel()
+    profile = HardwareProfile.physical()
+    in_rack = network.transfer(100 * _MB, profile, profile, locality="rack")
+    off_rack = network.transfer(100 * _MB, profile, profile, locality="off-rack")
+    assert off_rack > in_rack
+
+
+# --------------------------------------------------------------------------- cpu
+def test_parse_to_binary_string_fraction_matters(cpu):
+    all_strings = cpu.parse_to_binary(100 * _MB, string_fraction=1.0)
+    all_numeric = cpu.parse_to_binary(100 * _MB, string_fraction=0.0)
+    assert all_strings > all_numeric
+
+
+def test_parse_to_binary_scales_with_cores():
+    profile = HardwareProfile.physical()
+    cpu = CpuModel(hardware=profile)
+    one_core = cpu.parse_to_binary(100 * _MB, cores=1)
+    four_cores = cpu.parse_to_binary(100 * _MB, cores=4)
+    assert four_cores == pytest.approx(one_core / 4, rel=1e-6)
+    # Requesting more cores than the node has is capped.
+    assert cpu.parse_to_binary(100 * _MB, cores=16) == pytest.approx(four_cores, rel=1e-6)
+
+
+def test_weak_cores_are_slower():
+    fast = CpuModel(hardware=HardwareProfile.physical())
+    slow = CpuModel(hardware=HardwareProfile.ec2_large())
+    assert slow.parse_to_binary(64 * _MB, cores=1) > fast.parse_to_binary(64 * _MB, cores=1)
+
+
+def test_sort_block_grows_superlinearly_with_values(cpu):
+    small = cpu.sort_block(10_000, 1 * _MB)
+    large = cpu.sort_block(1_000_000, 1 * _MB)
+    assert large > small * 50
+
+
+def test_scan_text_includes_per_row_cost(cpu):
+    few_rows = cpu.scan_text(64 * _MB, num_rows=1_000)
+    many_rows = cpu.scan_text(64 * _MB, num_rows=1_000_000)
+    assert many_rows > few_rows
+
+
+def test_reconstruct_tuples_row_term(cpu):
+    none = cpu.reconstruct_tuples(0.0, num_rows=0)
+    some = cpu.reconstruct_tuples(0.0, num_rows=100_000)
+    assert none == 0.0
+    assert some > 0.0
+
+
+def test_zero_work_costs_nothing(cpu):
+    assert cpu.checksum(0) == 0.0
+    assert cpu.sort_block(0, 0) == 0.0
+    assert cpu.build_index(0) == 0.0
+    assert cpu.post_filter(0, 0) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for simulated time accounting: SimClock, ParallelTimeline, TransferLedger."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CostModel,
+    CostParameters,
+    ParallelTimeline,
+    SimClock,
+    TransferLedger,
+)
+
+_MB = 1024.0 * 1024.0
+
+
+# --------------------------------------------------------------------------- SimClock
+def test_clock_advances_and_rejects_negative():
+    clock = SimClock()
+    clock.advance(5.0)
+    clock.advance(2.5)
+    assert clock.now == pytest.approx(7.5)
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_clock_advance_to_only_moves_forward():
+    clock = SimClock(start=10.0)
+    clock.advance_to(8.0)
+    assert clock.now == pytest.approx(10.0)
+    clock.advance_to(12.0)
+    assert clock.now == pytest.approx(12.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_clock_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(start=-1.0)
+
+
+# --------------------------------------------------------------------------- ParallelTimeline
+def test_parallel_timeline_makespan_is_slowest_participant():
+    timeline = ParallelTimeline()
+    timeline.add("node-0", 3.0)
+    timeline.add("node-1", 5.0)
+    timeline.add("node-0", 1.0)
+    assert timeline.makespan == pytest.approx(5.0)
+    assert timeline.total_work == pytest.approx(9.0)
+    assert timeline.slowest() == ("node-1", 5.0)
+    assert timeline.duration_of("node-0") == pytest.approx(4.0)
+
+
+def test_parallel_timeline_empty():
+    timeline = ParallelTimeline()
+    assert timeline.makespan == 0.0
+    assert timeline.slowest() is None
+
+
+def test_parallel_timeline_rejects_negative_durations():
+    timeline = ParallelTimeline()
+    with pytest.raises(ValueError):
+        timeline.add("x", -0.1)
+
+
+# --------------------------------------------------------------------------- TransferLedger
+@pytest.fixture
+def ledger_setup():
+    cluster = Cluster.homogeneous(3)
+    cost = CostModel(CostParameters(enable_variance=False))
+    return cluster, cost, TransferLedger(cluster, cost)
+
+
+def test_ledger_empty_makespan_zero(ledger_setup):
+    _, _, ledger = ledger_setup
+    assert ledger.makespan() == 0.0
+
+
+def test_ledger_disk_reads_and_writes_accumulate(ledger_setup):
+    _, _, ledger = ledger_setup
+    ledger.record_disk_read(0, 10 * _MB)
+    ledger.record_disk_write(0, 20 * _MB)
+    ledger.record_disk_write(1, 5 * _MB)
+    assert ledger.total_bytes_read() == pytest.approx(10 * _MB)
+    assert ledger.total_bytes_written() == pytest.approx(25 * _MB)
+    assert ledger.node_time(0) > ledger.node_time(1) > 0.0
+
+
+def test_ledger_same_node_transfer_is_free(ledger_setup):
+    _, _, ledger = ledger_setup
+    ledger.record_transfer(1, 1, 100 * _MB)
+    assert ledger.makespan() == 0.0
+
+
+def test_ledger_cpu_overlaps_with_io(ledger_setup):
+    cluster, cost, ledger = ledger_setup
+    ledger.record_disk_write(0, 100 * _MB)
+    io_only = ledger.node_time(0)
+    ledger.record_cpu(0, io_only / 2)
+    assert ledger.node_time(0) == pytest.approx(io_only)
+    ledger.record_cpu(0, io_only)
+    assert ledger.node_time(0) > io_only
+
+
+def test_ledger_fixed_time_is_additive(ledger_setup):
+    _, _, ledger = ledger_setup
+    ledger.record_disk_write(2, 10 * _MB)
+    before = ledger.node_time(2)
+    ledger.record_fixed(2, 1.25)
+    assert ledger.node_time(2) == pytest.approx(before + 1.25)
+
+
+def test_ledger_makespan_is_max_over_nodes(ledger_setup):
+    _, _, ledger = ledger_setup
+    ledger.record_disk_write(0, 10 * _MB)
+    ledger.record_disk_write(1, 200 * _MB)
+    times = ledger.per_node_times()
+    assert ledger.makespan() == pytest.approx(max(times.values()))
+
+
+def test_ledger_network_uses_slowest_direction(ledger_setup):
+    cluster, cost, ledger = ledger_setup
+    ledger.record_transfer(0, 1, 500 * _MB)
+    # Node 0 only sends, node 1 only receives; both should be charged.
+    assert ledger.node_time(0) > 0.0
+    assert ledger.node_time(1) > 0.0

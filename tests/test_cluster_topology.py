@@ -1,0 +1,89 @@
+"""Tests for cluster topology, node lifecycle and replica placement."""
+
+import pytest
+
+from repro.cluster import Cluster, HardwareProfile, Node, NodeState
+
+
+def test_homogeneous_cluster_builds_requested_nodes():
+    cluster = Cluster.homogeneous(7)
+    assert len(cluster) == 7
+    assert {node.node_id for node in cluster} == set(range(7))
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(ValueError):
+        Cluster([])
+
+
+def test_duplicate_node_ids_rejected():
+    profile = HardwareProfile.physical()
+    with pytest.raises(ValueError):
+        Cluster([Node(0, profile), Node(0, profile)])
+
+
+def test_kill_and_revive_node():
+    cluster = Cluster.homogeneous(3)
+    cluster.kill_node(1)
+    assert not cluster.node(1).is_alive
+    assert len(cluster.alive_nodes) == 2
+    cluster.revive_all()
+    assert len(cluster.alive_nodes) == 3
+    assert cluster.node(1).state == NodeState.ALIVE
+
+
+def test_locality_classification():
+    cluster = Cluster.homogeneous(25, nodes_per_rack=20)
+    assert cluster.locality(3, 3) == "node"
+    assert cluster.locality(3, 4) == "rack"
+    assert cluster.locality(3, 22) == "off-rack"
+    assert cluster.same_rack(0, 19)
+    assert not cluster.same_rack(0, 20)
+
+
+def test_choose_replica_nodes_places_first_replica_locally():
+    cluster = Cluster.homogeneous(6, seed=3)
+    pipeline = cluster.choose_replica_nodes(3, client_node=2)
+    assert pipeline[0] == 2
+    assert len(pipeline) == 3
+    assert len(set(pipeline)) == 3
+
+
+def test_choose_replica_nodes_skips_dead_nodes():
+    cluster = Cluster.homogeneous(5, seed=3)
+    cluster.kill_node(1)
+    for _ in range(20):
+        pipeline = cluster.choose_replica_nodes(3, client_node=0)
+        assert 1 not in pipeline
+
+
+def test_choose_replica_nodes_rejects_impossible_replication():
+    cluster = Cluster.homogeneous(2)
+    with pytest.raises(ValueError):
+        cluster.choose_replica_nodes(3)
+
+
+def test_choose_replica_nodes_without_client_hint():
+    cluster = Cluster.homogeneous(4, seed=9)
+    pipeline = cluster.choose_replica_nodes(3)
+    assert len(set(pipeline)) == 3
+
+
+def test_node_disk_accounting():
+    node = Node(0, HardwareProfile.physical())
+    node.charge_disk(1000)
+    node.charge_disk(500)
+    assert node.disk_used_bytes == 1500
+    node.release_disk(700)
+    assert node.disk_used_bytes == 800
+    node.release_disk(10_000)
+    assert node.disk_used_bytes == 0
+    with pytest.raises(ValueError):
+        node.charge_disk(-1)
+
+
+def test_describe_reports_hardware_mix():
+    cluster = Cluster.homogeneous(4, HardwareProfile.ec2_large())
+    info = cluster.describe()
+    assert info["nodes"] == 4
+    assert info["hardware"] == ["m1.large"]

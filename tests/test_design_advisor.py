@@ -1,0 +1,63 @@
+"""Tests for the per-replica index advisor."""
+
+import pytest
+
+from repro.datagen import SYNTHETIC_SCHEMA, USERVISITS_SCHEMA
+from repro.design import IndexAdvisor
+from repro.hail.predicate import Operator, Predicate
+from repro.workloads import bob_queries
+from repro.workloads.query import Query
+
+
+def test_advisor_recovers_bobs_manual_configuration():
+    advisor = IndexAdvisor(USERVISITS_SCHEMA, replication=3)
+    recommendation = advisor.recommend(bob_queries())
+    assert set(recommendation.index_attributes) == {"visitDate", "sourceIP", "adRevenue"}
+    assert recommendation.num_indexes == 3
+    for query in bob_queries():
+        assert recommendation.covers(query.name)
+
+
+def test_advisor_respects_replication_limit():
+    advisor = IndexAdvisor(USERVISITS_SCHEMA, replication=2)
+    recommendation = advisor.recommend(bob_queries())
+    assert recommendation.num_indexes == 2
+    assert not all(recommendation.covers(q.name) for q in bob_queries())
+
+
+def test_advisor_weights_change_the_choice():
+    queries = [
+        Query("qa", Predicate.comparison("f1", Operator.LT, 10), ("f1",), selectivity=0.1),
+        Query("qb", Predicate.comparison("f2", Operator.LT, 10), ("f2",), selectivity=0.1),
+        Query("qc", Predicate.comparison("f3", Operator.LT, 10), ("f3",), selectivity=0.1),
+        Query("qd", Predicate.comparison("f4", Operator.LT, 10), ("f4",), selectivity=0.1),
+    ]
+    advisor = IndexAdvisor(SYNTHETIC_SCHEMA, replication=1)
+    heavy_f4 = advisor.recommend(queries, weights=[1, 1, 1, 100])
+    assert heavy_f4.index_attributes == ("f4",)
+    heavy_f2 = advisor.recommend(queries, weights=[1, 100, 1, 1])
+    assert heavy_f2.index_attributes == ("f2",)
+
+
+def test_advisor_prefers_selective_queries():
+    queries = [
+        Query("broad", Predicate.comparison("f1", Operator.LT, 10), None, selectivity=0.9),
+        Query("narrow", Predicate.comparison("f2", Operator.LT, 10), None, selectivity=0.001),
+    ]
+    recommendation = IndexAdvisor(SYNTHETIC_SCHEMA, replication=1).recommend(queries)
+    assert recommendation.index_attributes == ("f2",)
+
+
+def test_advisor_handles_queries_without_predicates():
+    queries = [Query("scan", None, None)]
+    recommendation = IndexAdvisor(SYNTHETIC_SCHEMA, replication=3).recommend(queries)
+    assert recommendation.index_attributes == ()
+    assert not recommendation.covers("scan")
+
+
+def test_advisor_validation():
+    with pytest.raises(ValueError):
+        IndexAdvisor(SYNTHETIC_SCHEMA, replication=0)
+    advisor = IndexAdvisor(SYNTHETIC_SCHEMA, replication=3)
+    with pytest.raises(ValueError):
+        advisor.recommend(bob_queries()[:2], weights=[1.0])

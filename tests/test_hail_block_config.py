@@ -1,0 +1,157 @@
+"""Tests for HailConfig and HailBlock."""
+
+from datetime import date
+
+import pytest
+
+from repro.datagen import USERVISITS_SCHEMA, UserVisitsGenerator
+from repro.hail import HailBlock, HailConfig
+from repro.hail.predicate import Predicate
+from repro.hail.sortindex import is_sorted
+
+
+# --------------------------------------------------------------------------- config
+def test_config_defaults_and_validation():
+    config = HailConfig()
+    assert config.replication == 3
+    assert config.num_indexes == 0
+    assert config.partition_size == 1024
+    assert config.effective_functional_partition_size == 1024
+    with pytest.raises(ValueError):
+        HailConfig(replication=0)
+    with pytest.raises(ValueError):
+        HailConfig(partition_size=0)
+    with pytest.raises(ValueError):
+        HailConfig(functional_partition_size=0)
+    with pytest.raises(ValueError):
+        HailConfig(index_attributes=("a", "b"), replication=1)
+
+
+def test_config_for_attributes_raises_replication_when_needed():
+    config = HailConfig.for_attributes(["a", "b", "c", "d", "e"])
+    assert config.replication == 5
+    assert config.num_indexes == 5
+    small = HailConfig.for_attributes(["a"])
+    assert small.replication == 3
+
+
+def test_config_attribute_for_replica():
+    config = HailConfig.for_attributes(["visitDate", "sourceIP"])
+    assert config.attribute_for_replica(0) == "visitDate"
+    assert config.attribute_for_replica(1) == "sourceIP"
+    assert config.attribute_for_replica(2) is None
+    assert config.attribute_for_replica(-1) is None
+
+
+def test_config_toggles():
+    config = HailConfig.for_attributes(["a"]).with_splitting(False).with_replication(4)
+    assert config.splitting_policy is False
+    assert config.replication == 4
+    assert HailConfig(functional_partition_size=4).effective_functional_partition_size == 4
+
+
+# --------------------------------------------------------------------------- block
+@pytest.fixture
+def uservisits_block(uservisits_sample):
+    return HailBlock.build(
+        USERVISITS_SCHEMA,
+        uservisits_sample[:200],
+        sort_attribute="visitDate",
+        partition_size=8,
+        logical_partition_size=1024,
+    )
+
+
+def test_build_sorts_by_sort_attribute(uservisits_block, uservisits_sample):
+    assert uservisits_block.sort_attribute == "visitDate"
+    assert is_sorted(uservisits_block.pax.column("visitDate"))
+    # The block still contains exactly the same records, just reordered.
+    assert sorted(map(repr, uservisits_block.pax.records())) == sorted(
+        map(repr, uservisits_sample[:200])
+    )
+    assert uservisits_block.logical_partition_size == 1024
+    assert uservisits_block.index is not None
+    assert uservisits_block.index.attribute == "visitDate"
+
+
+def test_build_without_sort_attribute(uservisits_sample):
+    block = HailBlock.build(USERVISITS_SCHEMA, uservisits_sample[:50], sort_attribute=None)
+    assert block.index is None
+    assert block.index_metadata() is None
+    assert block.pax.records() == uservisits_sample[:50]
+    assert block.index_size_bytes() == 0
+
+
+def test_block_requires_consistent_index_and_sort_attribute(uservisits_sample):
+    from repro.layouts.pax import PaxBlock
+
+    pax = PaxBlock.from_records(USERVISITS_SCHEMA, uservisits_sample[:10])
+    with pytest.raises(ValueError):
+        HailBlock(pax, "visitDate", None)
+
+
+def test_block_metadata_and_size_accounting(uservisits_block):
+    metadata = uservisits_block.block_metadata()
+    assert metadata["num_records"] == 200
+    assert metadata["schema"] == USERVISITS_SCHEMA.field_names
+    assert uservisits_block.size_bytes() > uservisits_block.data_size_bytes()
+    described = uservisits_block.describe()
+    assert described["layout"] == "pax+index(visitDate)"
+    assert described["records"] == 200
+
+
+def test_candidate_rows_uses_index_for_matching_attribute(uservisits_block):
+    predicate = Predicate.between("visitDate", date(1999, 1, 1), date(2000, 1, 1))
+    lookup, used_index = uservisits_block.candidate_rows(predicate)
+    assert used_index
+    assert lookup.num_rows < uservisits_block.num_records
+    matching = uservisits_block.filter_rows(predicate, lookup)
+    expected = [r for r in uservisits_block.pax.records() if predicate.matches(r, USERVISITS_SCHEMA)]
+    assert len(matching) == len(expected)
+
+
+def test_candidate_rows_falls_back_to_scan_for_other_attributes(uservisits_block):
+    predicate = Predicate.between("adRevenue", 1.0, 10.0)
+    lookup, used_index = uservisits_block.candidate_rows(predicate)
+    assert not used_index
+    assert lookup.num_rows == uservisits_block.num_records
+
+
+def test_project_rows_and_columns_to_read(uservisits_block):
+    predicate = Predicate.between("visitDate", date(1999, 1, 1), date(2000, 1, 1))
+    lookup, _ = uservisits_block.candidate_rows(predicate)
+    rows = uservisits_block.filter_rows(predicate, lookup)
+    projected = uservisits_block.project_rows(rows, ["sourceIP"])
+    assert all(len(p) == 1 for p in projected)
+    all_attrs = uservisits_block.project_rows(rows[:1], None)
+    assert len(all_attrs[0]) == len(USERVISITS_SCHEMA)
+    columns = uservisits_block.columns_to_read(predicate, ["sourceIP"])
+    assert columns == ["visitDate", "sourceIP"]
+    assert uservisits_block.columns_to_read(None, None) == USERVISITS_SCHEMA.field_names
+
+
+def test_columns_to_read_row_layout_returns_all(uservisits_block):
+    uservisits_block.pax_layout = False
+    predicate = Predicate.between("visitDate", date(1999, 1, 1), date(2000, 1, 1))
+    assert uservisits_block.columns_to_read(predicate, ["sourceIP"]) == USERVISITS_SCHEMA.field_names
+    uservisits_block.pax_layout = True
+
+
+def test_bad_records_kept_in_block(uservisits_sample):
+    block = HailBlock.build(
+        USERVISITS_SCHEMA,
+        uservisits_sample[:20],
+        sort_attribute="sourceIP",
+        bad_lines=["broken-line", "another|bad"],
+    )
+    assert len(block.bad_lines) == 2
+    assert block.bad_records_size_bytes() > 0
+    assert block.describe()["bad_records"] == 2
+
+
+def test_variable_offsets_exist_for_string_columns(uservisits_block):
+    assert "sourceIP" in uservisits_block.variable_offsets
+    assert "destURL" in uservisits_block.variable_offsets
+    assert "duration" not in uservisits_block.variable_offsets
+    # One offset per logical partition: miniature blocks have a single partition.
+    assert len(uservisits_block.variable_offsets["sourceIP"]) == 1

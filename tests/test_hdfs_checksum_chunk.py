@@ -1,0 +1,74 @@
+"""Tests for chunk checksums and the packet machinery."""
+
+import pytest
+
+from repro.hdfs import CHUNK_SIZE, PACKET_SIZE, chunk_checksums, packetize, verify_chunk_checksums
+from repro.hdfs.checksum import checksum_file_size
+from repro.hdfs.chunk import PACKET_DATA_SIZE, num_packets, reassemble
+
+
+def test_chunk_checksums_count():
+    payload = b"x" * (3 * CHUNK_SIZE + 100)
+    checksums = chunk_checksums(payload)
+    assert len(checksums) == 4
+    assert chunk_checksums(b"") == []
+    with pytest.raises(ValueError):
+        chunk_checksums(payload, chunk_size=0)
+
+
+def test_verify_chunk_checksums_detects_corruption():
+    payload = bytes(range(256)) * 10
+    checksums = chunk_checksums(payload)
+    assert verify_chunk_checksums(payload, checksums)
+    corrupted = b"X" + payload[1:]
+    assert not verify_chunk_checksums(corrupted, checksums)
+
+
+def test_checksum_file_size_four_bytes_per_chunk():
+    assert checksum_file_size(0) == 0
+    assert checksum_file_size(1) == 4
+    assert checksum_file_size(CHUNK_SIZE) == 4
+    assert checksum_file_size(CHUNK_SIZE + 1) == 8
+
+
+def test_packetize_and_reassemble_round_trip():
+    payload = bytes([i % 251 for i in range(3 * PACKET_DATA_SIZE + 777)])
+    packets = packetize(payload)
+    assert packets[-1].last_in_block
+    assert all(not packet.last_in_block for packet in packets[:-1])
+    assert reassemble(packets) == payload
+    assert reassemble(list(reversed(packets))) == payload
+
+
+def test_packetize_empty_payload_yields_single_last_packet():
+    packets = packetize(b"")
+    assert len(packets) == 1
+    assert packets[0].last_in_block
+    assert packets[0].num_chunks == 0
+
+
+def test_packetize_validates_sizes():
+    with pytest.raises(ValueError):
+        packetize(b"abc", chunk_size=0)
+    with pytest.raises(ValueError):
+        packetize(b"abc", chunk_size=512, packet_data_size=1000)
+
+
+def test_packet_wire_size_includes_checksums():
+    payload = b"y" * PACKET_DATA_SIZE
+    packet = packetize(payload)[0]
+    assert packet.wire_size > len(packet.data)
+    assert packet.wire_size <= PACKET_SIZE + 64
+
+
+def test_reassemble_detects_missing_packets():
+    payload = b"z" * (2 * PACKET_DATA_SIZE)
+    packets = packetize(payload)
+    with pytest.raises(ValueError):
+        reassemble(packets[:1])
+
+
+def test_num_packets_matches_packetize():
+    for size in (0, 1, PACKET_DATA_SIZE, PACKET_DATA_SIZE + 1, 5 * PACKET_DATA_SIZE):
+        payload = b"a" * size
+        assert num_packets(size) == len(packetize(payload))

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the index, predicates and sort machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hail.index import HailIndex
+from repro.hail.predicate import Comparison, Operator, Predicate
+from repro.hail.sortindex import apply_permutation, is_sorted, sort_permutation
+from repro.layouts import FieldType, Schema
+
+_INTS = st.integers(min_value=-10_000, max_value=10_000)
+
+
+# --------------------------------------------------------------------------- sparse clustered index
+@given(
+    values=st.lists(_INTS, min_size=0, max_size=400),
+    partition_size=st.integers(min_value=1, max_value=64),
+    low=_INTS,
+    high=_INTS,
+)
+@settings(max_examples=200, deadline=None)
+def test_index_range_lookup_is_complete(values, partition_size, low, high):
+    """Every qualifying row id lies inside the candidate range returned by the index."""
+    sorted_values = sorted(values)
+    index = HailIndex.build("attr", sorted_values, partition_size=partition_size)
+    lookup = index.lookup_range(low, high)
+    for row, value in enumerate(sorted_values):
+        if low <= value <= high:
+            assert lookup.start_row <= row < lookup.end_row
+
+
+@given(
+    values=st.lists(_INTS, min_size=1, max_size=400),
+    partition_size=st.integers(min_value=1, max_value=64),
+    low=_INTS,
+    high=_INTS,
+)
+@settings(max_examples=200, deadline=None)
+def test_index_candidate_range_is_tight(values, partition_size, low, high):
+    """The candidate range never over-reads by more than one partition on each side."""
+    sorted_values = sorted(values)
+    index = HailIndex.build("attr", sorted_values, partition_size=partition_size)
+    lookup = index.lookup_range(low, high)
+    qualifying = [row for row, value in enumerate(sorted_values) if low <= value <= high]
+    if not qualifying:
+        assert lookup.num_rows <= partition_size
+    else:
+        assert lookup.start_row >= qualifying[0] - partition_size
+        assert lookup.end_row <= qualifying[-1] + partition_size + 1
+
+
+@given(values=st.lists(_INTS, min_size=0, max_size=300), probe=_INTS)
+@settings(max_examples=150, deadline=None)
+def test_index_equality_probe_is_complete(values, probe):
+    sorted_values = sorted(values)
+    index = HailIndex.build("attr", sorted_values, partition_size=16)
+    lookup = index.lookup_equal(probe)
+    for row, value in enumerate(sorted_values):
+        if value == probe:
+            assert lookup.start_row <= row < lookup.end_row
+
+
+@given(values=st.lists(_INTS, min_size=0, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_index_full_range_covers_everything(values):
+    sorted_values = sorted(values)
+    index = HailIndex.build("attr", sorted_values, partition_size=8)
+    lookup = index.lookup_range(None, None)
+    assert lookup.start_row == 0
+    assert lookup.end_row == len(sorted_values)
+
+
+# --------------------------------------------------------------------------- sort permutation
+@given(values=st.lists(_INTS, min_size=0, max_size=300))
+@settings(max_examples=150, deadline=None)
+def test_sort_permutation_is_a_permutation_and_sorts(values):
+    permutation = sort_permutation(values)
+    assert sorted(permutation) == list(range(len(values)))
+    assert is_sorted(apply_permutation(values, permutation))
+
+
+@given(values=st.lists(st.text(max_size=8), min_size=0, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_sort_permutation_works_for_strings(values):
+    permutation = sort_permutation(values)
+    assert apply_permutation(values, permutation) == sorted(values)
+
+
+# --------------------------------------------------------------------------- predicates
+_SCHEMA = Schema.of(("a", FieldType.INT), ("b", FieldType.INT))
+
+
+@given(value=_INTS, low=_INTS, high=_INTS)
+@settings(max_examples=200, deadline=None)
+def test_between_equivalent_to_ge_and_le(value, low, high):
+    between = Predicate.between("a", low, high)
+    conjunction = Predicate.comparison("a", Operator.GE, low).and_(
+        Predicate.comparison("a", Operator.LE, high)
+    )
+    record = (value, 0)
+    assert between.matches(record, _SCHEMA) == conjunction.matches(record, _SCHEMA)
+
+
+@given(value=_INTS, bound=_INTS)
+@settings(max_examples=200, deadline=None)
+def test_comparison_operators_are_mutually_consistent(value, bound):
+    lt = Comparison("a", Operator.LT, (bound,)).matches(value)
+    ge = Comparison("a", Operator.GE, (bound,)).matches(value)
+    assert lt != ge
+    eq = Comparison("a", Operator.EQ, (bound,)).matches(value)
+    le = Comparison("a", Operator.LE, (bound,)).matches(value)
+    assert le == (lt or eq)
+
+
+@given(value=_INTS, low=_INTS, high=_INTS)
+@settings(max_examples=200, deadline=None)
+def test_value_range_consistent_with_matches(value, low, high):
+    clause = Comparison("a", Operator.BETWEEN, (low, high))
+    range_low, range_high = clause.value_range()
+    inside_range = (range_low is None or value >= range_low) and (
+        range_high is None or value <= range_high
+    )
+    assert clause.matches(value) == inside_range

@@ -1,0 +1,87 @@
+"""Property-based tests for schemas, serialization and PAX blocks."""
+
+from datetime import date, timedelta
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hail.hail_block import HailBlock
+from repro.hail.sortindex import is_sorted
+from repro.layouts import BinaryRowCodec, FieldType, PaxBlock, Schema, TextRowCodec, serialization
+
+_SCHEMA = Schema.of(
+    ("id", FieldType.INT),
+    ("weight", FieldType.DOUBLE),
+    ("day", FieldType.DATE),
+    ("tag", FieldType.STRING),
+    name="prop",
+)
+
+# Text values must not contain the delimiter or newlines for the text codec round trip.
+_tag = st.text(
+    alphabet=st.characters(blacklist_characters="|\n\r\x00", blacklist_categories=("Cs",)),
+    max_size=12,
+)
+_record = st.tuples(
+    st.integers(min_value=-2**31, max_value=2**31 - 1),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.builds(lambda days: date(1990, 1, 1) + timedelta(days=days), st.integers(0, 20000)),
+    _tag,
+)
+_records = st.lists(_record, min_size=0, max_size=60)
+
+
+@given(records=_records)
+@settings(max_examples=100, deadline=None)
+def test_text_codec_round_trip(records):
+    codec = TextRowCodec(_SCHEMA)
+    decoded = codec.decode(codec.encode(records))
+    assert len(decoded) == len(records)
+    for original, parsed in zip(records, decoded):
+        assert parsed[0] == original[0]
+        assert parsed[1] == original[1]
+        assert parsed[2] == original[2]
+        assert parsed[3] == original[3]
+
+
+@given(records=_records)
+@settings(max_examples=100, deadline=None)
+def test_binary_codec_round_trip(records):
+    codec = BinaryRowCodec(_SCHEMA)
+    assert codec.decode(codec.encode(records)) == list(records)
+
+
+@given(records=_records)
+@settings(max_examples=100, deadline=None)
+def test_pax_round_trip_and_sizes(records):
+    block = PaxBlock.from_records(_SCHEMA, records)
+    assert block.records() == list(records)
+    assert block.size_bytes() == sum(_SCHEMA.binary_size(r) for r in records)
+    restored = PaxBlock.from_bytes(_SCHEMA, block.to_bytes(), len(records))
+    assert restored.records() == list(records)
+
+
+@given(record=_record)
+@settings(max_examples=150, deadline=None)
+def test_record_serialization_round_trip(record):
+    payload = serialization.encode_record(_SCHEMA, record)
+    decoded, consumed = serialization.decode_record(_SCHEMA, payload)
+    assert decoded == record
+    assert consumed == len(payload)
+    assert len(payload) == _SCHEMA.binary_size(record)
+
+
+@given(records=st.lists(_record, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_hail_block_preserves_record_multiset_under_any_sort_attribute(records):
+    for attribute in ("id", "day", "tag"):
+        block = HailBlock.build(_SCHEMA, records, sort_attribute=attribute, partition_size=4)
+        assert is_sorted(block.pax.column(attribute))
+        assert sorted(map(repr, block.pax.records())) == sorted(map(repr, records))
+
+
+@given(records=_records)
+@settings(max_examples=60, deadline=None)
+def test_text_size_accounts_every_record(records):
+    assert sum(_SCHEMA.text_size(r) for r in records) == len(
+        ("\n".join(_SCHEMA.format_record(r) for r in records) + "\n").encode("utf-8")
+    ) if records else True
