@@ -6,6 +6,8 @@ The package is organised as a stack of subsystems, mirroring the paper:
 - :mod:`repro.layouts`    -- record schemas and physical layouts (text row, binary row, PAX).
 - :mod:`repro.hdfs`       -- a functional HDFS substrate (namenode, datanodes, upload pipeline).
 - :mod:`repro.mapreduce`  -- a functional Hadoop MapReduce substrate (splits, scheduling, tasks).
+- :mod:`repro.engine`     -- the unified query-execution engine: access-path planner
+  (``QueryPlan`` with ``explain()``) and vectorized PAX executor shared by all systems.
 - :mod:`repro.hail`       -- the paper's contribution: per-replica clustered indexing (HAIL).
 - :mod:`repro.baselines`  -- stock Hadoop and Hadoop++ (trojan index) baselines.
 - :mod:`repro.datagen`    -- UserVisits and Synthetic dataset generators.

@@ -63,8 +63,9 @@ class TrojanInputFormat(InputFormat):
         self, split: InputSplit, hdfs: Hdfs, jobconf: JobConf, cost: CostModel, node_id: int
     ) -> RecordReader:
         # The trojan blocks use the same functional structure as HAIL blocks (sorted data plus a
-        # sparse clustered index), so the HailRecordReader evaluates them directly; layout
-        # differences (row-wise storage, larger index) are carried by the block itself.
+        # sparse clustered index), so the engine-backed HailRecordReader evaluates them directly;
+        # layout differences (row-wise storage, larger index) are carried by the block and its
+        # Dir_rep entry, which makes the planner label these blocks TROJAN_INDEX_SCAN.
         return HailRecordReader(split, hdfs, cost, node_id, jobconf)
 
     def split_phase_cost(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel, num_blocks: int) -> float:
@@ -222,6 +223,7 @@ class HadoopPlusPlusSystem(BaseSystem):
                 index_size_bytes=trojan_block.index_size_bytes(),
                 block_size_bytes=trojan_block.size_bytes(),
                 num_records=trojan_block.num_records,
+                pax_layout=False,
             )
             self.hdfs.namenode.register_replica_info(block_id, datanode_id, info)
 

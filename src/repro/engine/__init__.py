@@ -1,0 +1,37 @@
+"""The unified query-execution engine.
+
+One place for the skip-or-scan decision all three systems (Hadoop, Hadoop++, HAIL) used to make
+privately inside their record readers:
+
+- :mod:`repro.engine.access_path` — :class:`AccessPath` and the per-block :class:`BlockPlan`;
+- :mod:`repro.engine.planner`     — :class:`PhysicalPlanner` producing inspectable
+  :class:`QueryPlan` objects from the namenode's ``Dir_rep`` (with ``explain()``);
+- :mod:`repro.engine.executor`    — :class:`VectorizedExecutor` evaluating predicates
+  column-at-a-time over PAX partitions and charging the simulated RecordReader cost.
+
+Record readers are thin shells over ``planner.plan_block()`` + ``executor.execute()``; every
+:class:`~repro.systems.base.QueryResult` carries the :class:`QueryPlan` that produced it.
+"""
+
+from repro.engine.access_path import AccessPath, BlockPlan
+from repro.engine.executor import (
+    BlockScanResult,
+    TextScanResult,
+    VectorizedExecutor,
+    clause_mask,
+    vectorized_filter,
+)
+from repro.engine.planner import PhysicalPlanner, QueryPlan, choose_indexed_host
+
+__all__ = [
+    "AccessPath",
+    "BlockPlan",
+    "BlockScanResult",
+    "TextScanResult",
+    "VectorizedExecutor",
+    "clause_mask",
+    "vectorized_filter",
+    "PhysicalPlanner",
+    "QueryPlan",
+    "choose_indexed_host",
+]

@@ -1,0 +1,90 @@
+"""Access paths and per-block physical plans.
+
+HAIL's core runtime decision (Sections 4.1–4.3 of the paper) is made *per block*: which replica
+to open and how to read it — via the replica's clustered index, via a PAX projection scan that
+touches only the needed minipages, or via a plain full scan.  Historically that decision was
+buried inside the record readers; here it is an explicit, inspectable plan object so that
+schedulers, readers and reports all share one source of truth (and so that ``explain()`` can
+show what a query will actually do before it runs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class AccessPath(enum.Enum):
+    """How one block of the input is physically read."""
+
+    #: Range lookup in the replica's sparse clustered index, then read only the qualifying
+    #: PAX partitions of the needed columns (HAIL, Section 4.3 / Figure 2).
+    INDEX_SCAN = "index_scan"
+    #: No usable index, but the replica is stored in PAX: scan only the columns the predicate
+    #: and projection touch, skipping all other minipages.
+    PAX_PROJECTION_SCAN = "pax_projection_scan"
+    #: Read the whole block and examine every record (stock Hadoop text blocks, or row-layout
+    #: binary blocks without a matching index).
+    FULL_SCAN = "full_scan"
+    #: Range lookup in a Hadoop++ trojan index over a row-layout block: one contiguous row
+    #: range, no per-column pruning and no PAX tuple reconstruction (Section 2 / Figure 7(b)).
+    TROJAN_INDEX_SCAN = "trojan_index_scan"
+
+    @property
+    def uses_index(self) -> bool:
+        """True for the two index-backed access paths."""
+        return self in (AccessPath.INDEX_SCAN, AccessPath.TROJAN_INDEX_SCAN)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.value
+
+
+@dataclass
+class BlockPlan:
+    """The physical plan for one block: chosen replica plus access path.
+
+    Attributes
+    ----------
+    block_id:
+        The logical HDFS block this plan reads.
+    access_path:
+        How the block is read (see :class:`AccessPath`).
+    datanode_id:
+        Datanode whose replica the reader opens (``-1`` when no alive replica exists; opening
+        such a plan raises the usual ``ReplicaNotFoundError``).
+    attribute:
+        Index attribute the access path exploits (``None`` for scans).
+    estimated_rows:
+        Records the executor is expected to examine (from the namenode's ``Dir_rep``; the whole
+        block for scans — index scans refine this at execution time).
+    estimated_bytes:
+        Replica bytes the access path is expected to touch.
+    fallback_reason:
+        Why a cheaper access path was *not* chosen (``None`` when the best path was available),
+        e.g. ``"no alive replica indexed on visitDate"``.
+    """
+
+    block_id: int
+    access_path: AccessPath
+    datanode_id: int
+    attribute: Optional[str] = None
+    estimated_rows: float = 0.0
+    estimated_bytes: float = 0.0
+    fallback_reason: Optional[str] = None
+
+    @property
+    def uses_index(self) -> bool:
+        """True when this plan answers the block with an index scan."""
+        return self.access_path.uses_index
+
+    def describe(self) -> str:
+        """One-line rendering used by :meth:`QueryPlan.explain`."""
+        target = f"replica@dn{self.datanode_id}" if self.datanode_id >= 0 else "no-replica"
+        parts = [f"block {self.block_id}: {self.access_path.value:<19} {target}"]
+        if self.attribute is not None:
+            parts.append(f"on {self.attribute}")
+        parts.append(f"~{int(self.estimated_rows)} rows, ~{int(self.estimated_bytes)} B")
+        if self.fallback_reason:
+            parts.append(f"[{self.fallback_reason}]")
+        return "  ".join(parts)

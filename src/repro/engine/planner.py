@@ -1,0 +1,321 @@
+"""The physical query planner.
+
+The planner turns "which replica should this task open, and how should it read it?" — a decision
+previously duplicated across three record readers — into an explicit :class:`BlockPlan` per
+block and a :class:`QueryPlan` per query.  It is purely a metadata consumer: every decision is
+answered from the namenode's directories (``Dir_block`` for replica placement, ``Dir_rep`` for
+per-replica sort order and index, Section 3.3 of the paper), never by opening block payloads.
+
+The planner absorbs the ``getHostsWithIndex`` logic of Section 4.3
+(:func:`choose_indexed_host`, formerly ``repro.hail.scheduler``): both the JobTracker-facing
+split computation and the record readers now share one implementation of the replica choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.engine.access_path import AccessPath, BlockPlan
+from repro.hdfs.filesystem import Hdfs
+from repro.hdfs.namenode import NameNode
+from repro.layouts.schema import Schema
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.hail's __init__ imports us back
+    from repro.hail.annotation import HailQuery
+    from repro.hail.predicate import Predicate
+
+
+def choose_indexed_host(
+    namenode: NameNode,
+    block_id: int,
+    attributes: Sequence[str],
+    prefer_node: Optional[int] = None,
+) -> Optional[tuple[int, str]]:
+    """Pick a datanode whose replica of ``block_id`` is indexed on one of ``attributes``.
+
+    Attributes are tried in the given order (the order of the predicate's clauses), so a
+    conjunction like Bob-Q3 (``sourceIP = ... AND visitDate = ...``) uses the first filter
+    attribute for which an index exists.  Among candidate datanodes, ``prefer_node`` wins when
+    it is one of them (data locality), otherwise the namenode's first entry is used.
+
+    Returns ``(datanode_id, attribute)`` or ``None`` when no alive replica has a matching index
+    — in which case HAIL falls back to standard scanning and scheduling.
+    """
+    for attribute in attributes:
+        hosts = namenode.hosts_with_index(block_id, attribute, alive_only=True)
+        if not hosts:
+            continue
+        if prefer_node is not None and prefer_node in hosts:
+            return prefer_node, attribute
+        return hosts[0], attribute
+    return None
+
+
+@dataclass
+class QueryPlan:
+    """The physical plan of one query over one file: one :class:`BlockPlan` per block."""
+
+    path: str
+    filter_attributes: tuple[str, ...]
+    projection: Optional[tuple[str, ...]]
+    block_plans: list[BlockPlan] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ aggregates
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks the query touches."""
+        return len(self.block_plans)
+
+    def count(self, access_path: AccessPath) -> int:
+        """How many blocks use ``access_path``."""
+        return sum(1 for plan in self.block_plans if plan.access_path is access_path)
+
+    @property
+    def num_index_scans(self) -> int:
+        """Blocks answered via a clustered (or trojan) index."""
+        return sum(1 for plan in self.block_plans if plan.uses_index)
+
+    @property
+    def index_coverage(self) -> float:
+        """Fraction of blocks answered via an index (1.0 right after a full HAIL upload)."""
+        if not self.block_plans:
+            return 0.0
+        return self.num_index_scans / len(self.block_plans)
+
+    def plan_for(self, block_id: int) -> Optional[BlockPlan]:
+        """The per-block plan for ``block_id``, or ``None``."""
+        for plan in self.block_plans:
+            if plan.block_id == block_id:
+                return plan
+        return None
+
+    # ------------------------------------------------------------------ rendering
+    def explain(self) -> str:
+        """Human-readable plan rendering (access path and chosen replica per block)."""
+        header = [f"QueryPlan for {self.path!r}"]
+        if self.filter_attributes:
+            header.append(f"  filter attributes: {', '.join(self.filter_attributes)}")
+        else:
+            header.append("  filter attributes: (none — scan job)")
+        if self.projection is not None:
+            header.append(f"  projection: {', '.join(self.projection)}")
+        else:
+            header.append("  projection: * (all attributes)")
+        lines = ["  " + plan.describe() for plan in self.block_plans]
+        tally = ", ".join(
+            f"{self.count(path)} {path.value}" for path in AccessPath if self.count(path)
+        ) or "no blocks"
+        footer = [f"  {self.num_blocks} blocks: {tally}"]
+        return "\n".join(header + lines + footer)
+
+    def summary(self) -> dict:
+        """Compact dictionary form for reports."""
+        return {
+            "path": self.path,
+            "blocks": self.num_blocks,
+            "index_scans": self.count(AccessPath.INDEX_SCAN),
+            "trojan_index_scans": self.count(AccessPath.TROJAN_INDEX_SCAN),
+            "pax_projection_scans": self.count(AccessPath.PAX_PROJECTION_SCAN),
+            "full_scans": self.count(AccessPath.FULL_SCAN),
+            "index_coverage": self.index_coverage,
+        }
+
+
+class PhysicalPlanner:
+    """Chooses, per block, the replica to open and the access path to read it with.
+
+    The replica preference order reproduces the behaviour the three record readers previously
+    implemented independently:
+
+    1. the split's *preferred* replica, when it is still alive (set by the input format's split
+       computation so tasks land on the replica the JobTracker scheduled them close to);
+    2. an alive replica whose clustered index matches one of the query's filter attributes
+       (:func:`choose_indexed_host`, preferring the executing node);
+    3. the executing node's local replica;
+    4. any alive replica (the namenode's first entry).
+    """
+
+    def __init__(self, hdfs: Hdfs) -> None:
+        self.hdfs = hdfs
+
+    # ------------------------------------------------------------------ per-query planning
+    def query_frame(self, path: str, annotation: Optional[HailQuery] = None) -> QueryPlan:
+        """An empty :class:`QueryPlan` for ``path`` with filter/projection metadata bound.
+
+        Used both by :meth:`plan_query` and by callers that fill ``block_plans`` with the
+        plans a job actually executed (``BaseSystem.run_query``).
+        """
+        namenode = self.hdfs.namenode
+        block_ids = namenode.file_blocks(path)
+        schema = namenode.logical_block(block_ids[0]).schema if block_ids else None
+        predicate = self._bound_predicate(annotation, schema)
+        projection = self._bound_projection(annotation, schema)
+        attributes = tuple(predicate.attributes(schema)) if predicate is not None else ()
+        return QueryPlan(path=path, filter_attributes=attributes, projection=projection)
+
+    def plan_query(
+        self,
+        path: str,
+        annotation: Optional[HailQuery] = None,
+        prefer_node: Optional[int] = None,
+        preferred_replicas: Optional[dict[int, int]] = None,
+    ) -> QueryPlan:
+        """Plan every block of ``path`` for the query described by ``annotation``."""
+        namenode = self.hdfs.namenode
+        block_ids = namenode.file_blocks(path)
+        schema = namenode.logical_block(block_ids[0]).schema if block_ids else None
+        predicate = self._bound_predicate(annotation, schema)
+        projection = self._bound_projection(annotation, schema)
+        plan = self.query_frame(path, annotation)
+        preferred_replicas = preferred_replicas or {}
+        for block_id in block_ids:
+            plan.block_plans.append(
+                self._plan_block(
+                    block_id,
+                    schema,
+                    predicate,
+                    projection,
+                    preferred=preferred_replicas.get(block_id),
+                    prefer_node=prefer_node,
+                )
+            )
+        return plan
+
+    def plan_block(
+        self,
+        block_id: int,
+        annotation: Optional[HailQuery] = None,
+        preferred: Optional[int] = None,
+        prefer_node: Optional[int] = None,
+    ) -> BlockPlan:
+        """Plan a single block (the record readers' entry point)."""
+        schema = self.hdfs.namenode.logical_block(block_id).schema
+        predicate = self._bound_predicate(annotation, schema)
+        projection = self._bound_projection(annotation, schema)
+        return self._plan_block(
+            block_id, schema, predicate, projection, preferred=preferred, prefer_node=prefer_node
+        )
+
+    def filter_attributes(self, path: str, annotation: Optional[HailQuery]) -> list[str]:
+        """The query's filter attribute names (empty for jobs without a selection predicate)."""
+        block_ids = self.hdfs.namenode.file_blocks(path)
+        if not block_ids:
+            return []
+        schema = self.hdfs.namenode.logical_block(block_ids[0]).schema
+        predicate = self._bound_predicate(annotation, schema)
+        if predicate is None:
+            return []
+        return predicate.attributes(schema)
+
+    # ------------------------------------------------------------------ internals
+    def _plan_block(
+        self,
+        block_id: int,
+        schema: Optional[Schema],
+        predicate: Optional[Predicate],
+        projection: Optional[tuple[str, ...]],
+        preferred: Optional[int],
+        prefer_node: Optional[int],
+    ) -> BlockPlan:
+        namenode = self.hdfs.namenode
+        hosts = namenode.block_datanodes(block_id, alive_only=True)
+        if not hosts:
+            return BlockPlan(
+                block_id=block_id,
+                access_path=AccessPath.FULL_SCAN,
+                datanode_id=-1,
+                fallback_reason="no alive replica",
+            )
+
+        fallback_reason: Optional[str] = None
+        if preferred is not None and preferred in hosts:
+            datanode_id = preferred
+        else:
+            choice = None
+            if predicate is not None:
+                choice = choose_indexed_host(
+                    namenode, block_id, predicate.attributes(schema), prefer_node=prefer_node
+                )
+            if choice is not None:
+                datanode_id = choice[0]
+            else:
+                if predicate is not None:
+                    fallback_reason = (
+                        "no alive replica indexed on "
+                        + "/".join(predicate.attributes(schema))
+                    )
+                if prefer_node is not None and prefer_node in hosts:
+                    datanode_id = prefer_node
+                else:
+                    datanode_id = hosts[0]
+
+        return self._classify(
+            block_id, datanode_id, schema, predicate, projection, fallback_reason
+        )
+
+    def _classify(
+        self,
+        block_id: int,
+        datanode_id: int,
+        schema: Optional[Schema],
+        predicate: Optional[Predicate],
+        projection: Optional[tuple[str, ...]],
+        fallback_reason: Optional[str],
+    ) -> BlockPlan:
+        """Derive the access path of the chosen replica from the namenode's ``Dir_rep``."""
+        namenode = self.hdfs.namenode
+        info = namenode.replica_info(block_id, datanode_id)
+        logical = namenode.logical_block(block_id)
+        num_records = getattr(info, "num_records", None) or len(logical.records)
+        block_bytes = getattr(info, "block_size_bytes", None) or logical.text_size_bytes
+
+        indexed_attribute = getattr(info, "indexed_attribute", None)
+        index_type = getattr(info, "index_type", None)
+        pax_layout = getattr(info, "pax_layout", info is not None)
+
+        attribute: Optional[str] = None
+        if (
+            predicate is not None
+            and indexed_attribute is not None
+            and schema is not None
+            and predicate.clause_for(indexed_attribute, schema) is not None
+        ):
+            attribute = indexed_attribute
+            access_path = (
+                AccessPath.TROJAN_INDEX_SCAN if index_type == "trojan" else AccessPath.INDEX_SCAN
+            )
+            fallback_reason = None
+        elif pax_layout and projection is not None:
+            # Only a projection prunes minipages: a predicate-only scan must still read every
+            # column to reconstruct the full tuples it emits.
+            access_path = AccessPath.PAX_PROJECTION_SCAN
+        else:
+            access_path = AccessPath.FULL_SCAN
+
+        return BlockPlan(
+            block_id=block_id,
+            access_path=access_path,
+            datanode_id=datanode_id,
+            attribute=attribute,
+            estimated_rows=num_records,
+            estimated_bytes=block_bytes,
+            fallback_reason=fallback_reason,
+        )
+
+    @staticmethod
+    def _bound_predicate(
+        annotation: Optional[HailQuery], schema: Optional[Schema]
+    ) -> Optional[Predicate]:
+        if annotation is None or annotation.filter is None or schema is None:
+            return None
+        return annotation.bound_filter(schema)
+
+    @staticmethod
+    def _bound_projection(
+        annotation: Optional[HailQuery], schema: Optional[Schema]
+    ) -> Optional[tuple[str, ...]]:
+        if annotation is None or annotation.projection is None or schema is None:
+            return None
+        names = annotation.projection_names(schema)
+        return tuple(names) if names is not None else None

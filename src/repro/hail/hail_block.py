@@ -87,8 +87,12 @@ class HailBlock(BlockPayload):
         column = pax.column(sort_attribute)
         permutation = sort_permutation(column)
         sorted_pax = pax.reorder(permutation)
+        # The column was just reordered by ``permutation``, so validation can be skipped.
         index = HailIndex.build(
-            sort_attribute, sorted_pax.column(sort_attribute), partition_size=partition_size
+            sort_attribute,
+            sorted_pax.column(sort_attribute),
+            partition_size=partition_size,
+            assume_sorted=True,
         )
         return cls(
             sorted_pax,
@@ -186,22 +190,14 @@ class HailBlock(BlockPayload):
         )
 
     def filter_rows(self, predicate: Optional[Predicate], lookup: IndexLookup) -> list[int]:
-        """Row ids inside ``lookup`` that satisfy the (full) predicate."""
-        rows = range(lookup.start_row, lookup.end_row)
-        if predicate is None:
-            return list(rows)
-        schema = self.schema
-        clause_indexes = [
-            (clause, clause.attribute_index(schema)) for clause in predicate.clauses
-        ]
-        matching: list[int] = []
-        for row in rows:
-            for clause, column_index in clause_indexes:
-                if not clause.matches(self.pax.columns[column_index][row]):
-                    break
-            else:
-                matching.append(row)
-        return matching
+        """Row ids inside ``lookup`` that satisfy the (full) predicate.
+
+        Delegates to the engine's columnar kernel (:func:`repro.engine.executor.vectorized_filter`)
+        so the block-level API and the vectorized executor cannot diverge.
+        """
+        from repro.engine.executor import vectorized_filter
+
+        return vectorized_filter(self.pax, predicate, self.schema, lookup)
 
     def project_rows(self, rows: Sequence[int], attribute_names: Optional[Sequence[str]]) -> list[tuple]:
         """Reconstruct the projected attributes of ``rows`` (all attributes when ``None``)."""

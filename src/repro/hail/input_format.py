@@ -4,8 +4,8 @@ Stock Hadoop creates one input split per HDFS block, so a 200 GB input means 3,2
 each paying the framework's multi-second scheduling overhead, which dwarfs the milliseconds an
 index scan actually needs (Figures 6(c) and 7(c)).  HailSplitting instead
 
-1. determines, per block, the datanode holding the replica whose clustered index matches the
-   job's filter attribute (``getHostsWithIndex``),
+1. asks the :class:`~repro.engine.planner.PhysicalPlanner` which datanode holds, per block, the
+   replica whose clustered index matches the job's filter attribute (``getHostsWithIndex``),
 2. clusters the blocks of the input by that datanode (locality clustering), and
 3. creates, per datanode collection, as many input splits as the TaskTracker has map slots,
    assigning the collection's blocks round-robin to them.
@@ -21,10 +21,10 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.engine.planner import PhysicalPlanner
 from repro.hail.annotation import resolve_annotation
 from repro.hail.config import HailConfig
 from repro.hail.record_reader import HailRecordReader
-from repro.hail.scheduler import choose_indexed_host
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.input_format import InputFormat
 from repro.mapreduce.job import JobConf
@@ -44,15 +44,16 @@ class HailInputFormat(InputFormat):
         if not locations:
             return []
 
-        filter_attributes = self._filter_attributes(hdfs, jobconf)
+        planner = PhysicalPlanner(hdfs)
+        annotation = resolve_annotation(jobconf)
+        query_plan = planner.plan_query(jobconf.input_path, annotation)
+        filter_attributes = query_plan.filter_attributes
         block_choices: dict[int, Optional[tuple[int, str]]] = {}
-        for location in locations:
+        for block_plan in query_plan.block_plans:
             choice = None
-            if filter_attributes:
-                choice = choose_indexed_host(
-                    hdfs.namenode, location.block_id, filter_attributes
-                )
-            block_choices[location.block_id] = choice
+            if block_plan.uses_index:
+                choice = (block_plan.datanode_id, block_plan.attribute)
+            block_choices[block_plan.block_id] = choice
 
         index_scan_possible = any(choice is not None for choice in block_choices.values())
         if self.config.splitting_policy and filter_attributes and index_scan_possible:
@@ -156,19 +157,3 @@ class HailInputFormat(InputFormat):
                 )
                 split_id += 1
         return splits
-
-    # ------------------------------------------------------------------ helpers
-    @staticmethod
-    def _filter_attributes(hdfs: Hdfs, jobconf: JobConf) -> list[str]:
-        """The job's filter attribute names (empty when the job has no selection predicate)."""
-        annotation = resolve_annotation(jobconf)
-        if annotation is None or annotation.filter is None:
-            return []
-        block_ids = hdfs.namenode.file_blocks(jobconf.input_path)
-        if not block_ids:
-            return []
-        schema = hdfs.namenode.logical_block(block_ids[0]).schema
-        predicate = annotation.bound_filter(schema)
-        if predicate is None:
-            return []
-        return predicate.attributes(schema)

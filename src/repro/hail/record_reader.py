@@ -1,16 +1,20 @@
 """The HailRecordReader (Section 4.3).
 
-For every block of its split the reader
+Since the unified query-execution engine (:mod:`repro.engine`) was extracted, this reader is a
+thin shell: for every block of its split it asks the :class:`~repro.engine.planner.PhysicalPlanner`
+for a :class:`~repro.engine.access_path.BlockPlan` (which replica to open, which access path to
+use) and hands the plan to the :class:`~repro.engine.executor.VectorizedExecutor`, which
 
-1. opens an input stream to the replica carrying the matching clustered index (preferring the
-   local datanode; falling back to standard scanning when no matching index is alive),
+1. opens an input stream to the planned replica (preferring the one carrying the matching
+   clustered index; falling back to standard scanning when no matching index is alive),
 2. reads the index directory into main memory (a few KB) and looks up the qualifying partitions,
-3. reads exactly those partitions of the needed columns from disk, post-filters them with the
-   full predicate, and reconstructs the projected attributes from PAX to row layout,
-4. hands each qualifying tuple to the map function as a :class:`~repro.hail.record.HailRecord`;
-   bad records are passed through flagged as bad.
+3. reads exactly those partitions of the needed columns from disk, post-filters them
+   column-at-a-time with the full predicate, and reconstructs the projected attributes from PAX
+   to row layout.
 
-The simulated RecordReader time charged here is what Figures 6(b) and 7(b) report.
+The reader only wraps qualifying tuples as :class:`~repro.hail.record.HailRecord`\\ s for the map
+function; bad records are passed through flagged as bad.  The simulated RecordReader time
+charged by the executor is what Figures 6(b) and 7(b) report.
 """
 
 from __future__ import annotations
@@ -18,13 +22,10 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.engine.executor import VectorizedExecutor
+from repro.engine.planner import PhysicalPlanner
 from repro.hail.annotation import HailQuery, resolve_annotation
-from repro.hail.hail_block import HailBlock
-from repro.hail.index import IndexLookup, logical_index_size_bytes
-from repro.hail.predicate import Predicate
 from repro.hail.record import HailRecord
-from repro.hail.scheduler import choose_indexed_host
-from repro.hdfs.block import Replica
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.record_reader import RecordReader
@@ -40,6 +41,8 @@ class HailRecordReader(RecordReader):
         super().__init__(split, hdfs, cost, node_id)
         self.jobconf = jobconf
         self.annotation: Optional[HailQuery] = resolve_annotation(jobconf)
+        self.planner = PhysicalPlanner(hdfs)
+        self.executor = VectorizedExecutor(hdfs, cost, node_id)
         #: Number of blocks answered by index scan vs. full scan (for reports/tests).
         self.index_scans = 0
         self.full_scans = 0
@@ -47,158 +50,26 @@ class HailRecordReader(RecordReader):
     # ------------------------------------------------------------------ iteration
     def __iter__(self) -> Iterator[tuple]:
         for block_id in self.split.block_ids:
-            yield from self._read_block(block_id)
-
-    # ------------------------------------------------------------------ per-block work
-    def _read_block(self, block_id: int) -> Iterator[tuple]:
-        replica = self._open_replica(block_id)
-        payload = replica.payload
-        if not isinstance(payload, HailBlock):
-            raise TypeError(
-                f"HailRecordReader expects HAIL replicas, found {payload.layout!r}; "
-                "was the file uploaded with the HAIL pipeline?"
+            plan = self.planner.plan_block(
+                block_id,
+                annotation=self.annotation,
+                preferred=self.split.preferred_replicas.get(block_id),
+                prefer_node=self.node_id,
             )
-        schema = payload.schema
-        predicate: Optional[Predicate] = None
-        projection: Optional[list[str]] = None
-        if self.annotation is not None:
-            predicate = self.annotation.bound_filter(schema)
-            projection = self.annotation.projection_names(schema)
-
-        if predicate is not None:
-            lookup, used_index = payload.candidate_rows(predicate)
-        else:
-            # No filter: the whole block qualifies (a plain PAX scan).
-            lookup = IndexLookup(
-                first_partition=0,
-                last_partition=max(0, -(-payload.num_records // payload.partition_size) - 1),
-                start_row=0,
-                end_row=payload.num_records,
-            )
-            used_index = False
-
-        matching_rows = payload.filter_rows(predicate, lookup)
-        projected = payload.project_rows(matching_rows, projection)
-        positions = self._projection_positions(schema, projection)
-
-        self.read_seconds += self._charge_block(replica, payload, lookup, len(matching_rows), predicate, projection, used_index)
-        if used_index:
-            self.index_scans += 1
-            self.used_index = True
-        else:
-            self.full_scans += 1
-
-        for row_id, values in zip(matching_rows, projected):
-            self.records_emitted += 1
-            yield row_id, HailRecord(schema, values, positions)
-        # Bad records are handed to the map function unchanged, flagged as bad (Section 4.3).
-        for line in payload.bad_lines:
-            self.records_emitted += 1
-            yield -1, HailRecord(schema, (), positions=(), bad=True, raw_line=line)
-
-    def _open_replica(self, block_id: int) -> Replica:
-        """Choose the replica to read: preferred (from the split), indexed, local, any."""
-        preferred = self.split.preferred_replicas.get(block_id)
-        hosts = self.hdfs.namenode.block_datanodes(block_id, alive_only=True)
-        if preferred is not None and preferred in hosts:
-            return self.hdfs.read_replica(block_id, preferred)
-        if self.annotation is not None and self.annotation.filter is not None:
-            schema = self.hdfs.namenode.logical_block(block_id).schema
-            predicate = self.annotation.bound_filter(schema)
-            if predicate is not None:
-                choice = choose_indexed_host(
-                    self.hdfs.namenode,
-                    block_id,
-                    predicate.attributes(schema),
-                    prefer_node=self.node_id,
-                )
-                if choice is not None:
-                    return self.hdfs.read_replica(block_id, choice[0])
-        return self._select_replica(block_id)
-
-    # ------------------------------------------------------------------ cost accounting
-    def _charge_block(
-        self,
-        replica: Replica,
-        payload: HailBlock,
-        lookup,
-        num_matching: int,
-        predicate: Optional[Predicate],
-        projection: Optional[list[str]],
-        used_index: bool,
-    ) -> float:
-        node = self.hdfs.cluster.node(self.node_id)
-        disk = self.cost.disk(node)
-        cpu = self.cost.cpu(node)
-        num_records = max(1, payload.num_records)
-        candidate_fraction = min(1.0, lookup.num_rows / num_records)
-        qualifying_fraction = min(1.0, num_matching / num_records)
-        logical_rows = self.cost.scale_count(payload.num_records)
-        candidate_rows = candidate_fraction * logical_rows
-        qualifying_rows = qualifying_fraction * logical_rows
-
-        columns = payload.columns_to_read(predicate, projection)
-        column_bytes = sum(payload.pax.column_size_bytes(name) for name in columns)
-        candidate_bytes = candidate_fraction * column_bytes
-        bad_bytes = payload.bad_records_size_bytes()
-        read_bytes = candidate_bytes + bad_bytes
-
-        seconds = self.cost.reader_setup()
-        if used_index:
-            # Read the index directory entirely into main memory (one seek + a few KB).
-            logical_index_bytes = logical_index_size_bytes(
-                logical_rows, payload.logical_partition_size
-            )
-            seconds += disk.random_read(logical_index_bytes, num_seeks=1)
-            # Read only the qualifying partitions: one seek per column minipage in PAX layout,
-            # a single contiguous range in row layout (the Hadoop++ trojan blocks).
-            data_seeks = len(columns) if payload.pax_layout else 1
-            seconds += disk.random_read(self.cost.scale_bytes(read_bytes), num_seeks=data_seeks)
-            # Post-filter only the candidate partitions.
-            if predicate is not None:
-                filter_columns = predicate.attributes(payload.schema)
-                filter_bytes = candidate_fraction * sum(
-                    payload.pax.column_size_bytes(name) for name in filter_columns
-                )
-                seconds += cpu.post_filter(self.cost.scale_bytes(filter_bytes), candidate_rows)
-        else:
-            # Scan fallback: the needed columns (or whole rows) are read sequentially in full
-            # and every record is examined.
-            seconds += disk.sequential_read(self.cost.scale_bytes(read_bytes))
-            if payload.pax_layout:
-                filter_bytes = candidate_bytes if predicate is None else candidate_fraction * sum(
-                    payload.pax.column_size_bytes(name)
-                    for name in predicate.attributes(payload.schema)
-                )
-                seconds += cpu.post_filter(self.cost.scale_bytes(filter_bytes), candidate_rows)
+            scan = self.executor.execute(plan, self.annotation)
+            self.block_plans.append(scan.plan)
+            self.read_seconds += scan.seconds
+            self.bytes_read += scan.bytes_read
+            if scan.used_index:
+                self.index_scans += 1
+                self.used_index = True
             else:
-                seconds += cpu.scan_binary_rows(self.cost.scale_bytes(read_bytes), candidate_rows)
+                self.full_scans += 1
 
-        if replica.datanode_id != self.node_id:
-            source = self.hdfs.cluster.node(replica.datanode_id)
-            locality = self.hdfs.cluster.locality(replica.datanode_id, self.node_id)
-            seconds += self.cost.network.transfer(
-                self.cost.scale_bytes(read_bytes), source.hardware, node.hardware, locality
-            )
-
-        # Reconstruct the projected attributes of the qualifying tuples (PAX to row layout).
-        projection_names = projection if projection is not None else payload.schema.field_names
-        projected_bytes = qualifying_fraction * sum(
-            payload.pax.column_size_bytes(name) for name in projection_names
-        )
-        if payload.pax_layout:
-            seconds += cpu.reconstruct_tuples(self.cost.scale_bytes(projected_bytes), qualifying_rows)
-        else:
-            # Row layout: qualifying tuples are already contiguous rows; only the per-record
-            # object creation cost remains.
-            seconds += cpu.reconstruct_tuples(0.0, qualifying_rows)
-
-        self.bytes_read += read_bytes
-        return seconds
-
-    # ------------------------------------------------------------------ helpers
-    @staticmethod
-    def _projection_positions(schema, projection: Optional[list[str]]) -> tuple[int, ...]:
-        if projection is None:
-            return tuple(range(1, len(schema) + 1))
-        return tuple(schema.position_of(name) for name in projection)
+            for row_id, values in zip(scan.rows, scan.projected):
+                self.records_emitted += 1
+                yield row_id, HailRecord(scan.schema, values, scan.positions)
+            # Bad records are handed to the map function unchanged, flagged as bad (Section 4.3).
+            for line in scan.bad_lines:
+                self.records_emitted += 1
+                yield -1, HailRecord(scan.schema, (), positions=(), bad=True, raw_line=line)

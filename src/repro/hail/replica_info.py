@@ -24,6 +24,10 @@ class HailBlockReplicaInfo:
     block_size_bytes: int = 0
     num_records: int = 0
     index_offset_bytes: int = 0
+    #: False for row-layout replicas (Hadoop++ trojan blocks, the "no PAX conversion" ablation);
+    #: the physical planner uses this to tell projection scans from full scans without opening
+    #: the block payload.
+    pax_layout: bool = True
 
     @property
     def has_index(self) -> bool:
@@ -44,4 +48,5 @@ class HailBlockReplicaInfo:
             "index_size_bytes": self.index_size_bytes,
             "block_size_bytes": self.block_size_bytes,
             "num_records": self.num_records,
+            "pax_layout": self.pax_layout,
         }

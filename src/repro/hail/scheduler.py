@@ -1,45 +1,22 @@
-"""Index-aware replica selection (the ``getHostsWithIndex`` logic of Section 4.3).
+"""Index-aware scheduling statistics (Section 4.3).
 
 HAIL changes two decisions that stock Hadoop makes purely on data locality and availability:
 
 - which datanode a map task should be scheduled *close to* (the JobTracker's decision), and
 - which replica the record reader should actually *open* (the HDFS client's decision).
 
-Both want the replica whose clustered index matches the job's filter attribute; these helpers
-answer that question from the namenode's ``Dir_rep`` directory.
+Both decisions live in the unified engine now — see
+:func:`repro.engine.planner.choose_indexed_host` (re-exported here for backwards compatibility)
+and :class:`repro.engine.planner.PhysicalPlanner`.  This module keeps the namenode-level
+reporting helpers used by experiments and tests.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
+from repro.engine.planner import choose_indexed_host  # noqa: F401  (re-export)
 from repro.hdfs.namenode import NameNode
 
-
-def choose_indexed_host(
-    namenode: NameNode,
-    block_id: int,
-    attributes: Sequence[str],
-    prefer_node: Optional[int] = None,
-) -> Optional[tuple[int, str]]:
-    """Pick a datanode whose replica of ``block_id`` is indexed on one of ``attributes``.
-
-    Attributes are tried in the given order (the order of the predicate's clauses), so a
-    conjunction like Bob-Q3 (``sourceIP = ... AND visitDate = ...``) uses the first filter
-    attribute for which an index exists.  Among candidate datanodes, ``prefer_node`` wins when
-    it is one of them (data locality), otherwise the namenode's first entry is used.
-
-    Returns ``(datanode_id, attribute)`` or ``None`` when no alive replica has a matching index
-    — in which case HAIL falls back to standard scanning and scheduling.
-    """
-    for attribute in attributes:
-        hosts = namenode.hosts_with_index(block_id, attribute, alive_only=True)
-        if not hosts:
-            continue
-        if prefer_node is not None and prefer_node in hosts:
-            return prefer_node, attribute
-        return hosts[0], attribute
-    return None
+__all__ = ["choose_indexed_host", "index_coverage", "replica_distribution"]
 
 
 def index_coverage(namenode: NameNode, path: str, attribute: str) -> float:

@@ -184,6 +184,7 @@ class HailUploadPipeline:
             index_size_bytes=block.index_size_bytes(),
             block_size_bytes=block.size_bytes(),
             num_records=block.num_records,
+            pax_layout=self.config.convert_to_pax,
         )
         return replica, info
 

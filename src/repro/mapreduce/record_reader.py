@@ -1,22 +1,30 @@
 """Record readers.
 
 A record reader turns the blocks of an input split into ``(key, value)`` records and is also
-where this reproduction charges the per-task I/O and CPU cost ("RecordReader time" in Figures
+where this reproduction accounts the per-task I/O and CPU cost ("RecordReader time" in Figures
 6(b) and 7(b) — footnote 8 of the paper defines it as the time a map task takes to read *and
 process* its input).
 
+Replica selection and predicate evaluation live in the unified engine
+(:class:`~repro.engine.planner.PhysicalPlanner` /
+:class:`~repro.engine.executor.VectorizedExecutor`); readers are thin shells that ask the
+planner for a per-block :class:`~repro.engine.access_path.BlockPlan`, hand it to the executor,
+and adapt the result to the ``(key, value)`` iterator contract of the map function.
+
 :class:`TextRecordReader` is the stock Hadoop reader: it always reads the whole block from the
 closest replica and emits ``(byte offset, text line)`` pairs; splitting the line into attributes
-is the map function's job, but its CPU cost is part of processing the input and is charged here.
+is the map function's job, but its CPU cost is part of processing the input and is charged by
+the executor.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.cluster.costmodel import CostModel
-from repro.hdfs.block import Replica, TextBlockPayload
+from repro.engine.executor import VectorizedExecutor
+from repro.engine.planner import PhysicalPlanner
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.split import InputSplit
 
@@ -37,60 +45,35 @@ class RecordReader(abc.ABC):
         self.records_emitted: int = 0
         #: True when at least one block was answered with an index scan (HAIL / Hadoop++).
         self.used_index: bool = False
+        #: The executed per-block plans, in split order (assembled into QueryResult.plan).
+        self.block_plans: list = []
 
     @abc.abstractmethod
     def __iter__(self) -> Iterator[tuple]:
         """Yield ``(key, value)`` records of the split."""
 
-    # ------------------------------------------------------------------ shared helpers
-    def _select_replica(self, block_id: int, preferred: Optional[int] = None) -> Replica:
-        """Open the best replica of a block: preferred datanode, else local, else any alive."""
-        namenode = self.hdfs.namenode
-        hosts = namenode.block_datanodes(block_id, alive_only=True)
-        if preferred is not None and preferred in hosts:
-            return self.hdfs.read_replica(block_id, preferred)
-        if self.node_id in hosts:
-            return self.hdfs.read_replica(block_id, self.node_id)
-        return self.hdfs.any_replica(block_id)
-
-    def _charge_block_read(self, replica: Replica, num_bytes: float) -> float:
-        """Charge a sequential read of ``num_bytes`` from ``replica`` (remote adds network)."""
-        node = self.hdfs.cluster.node(self.node_id)
-        scaled = self.cost.scale_bytes(num_bytes)
-        seconds = self.cost.disk(node).sequential_read(scaled)
-        if replica.datanode_id != self.node_id:
-            source = self.hdfs.cluster.node(replica.datanode_id)
-            locality = self.hdfs.cluster.locality(replica.datanode_id, self.node_id)
-            seconds += self.cost.network.transfer(scaled, source.hardware, node.hardware, locality)
-        self.bytes_read += num_bytes
-        return seconds
-
 
 class TextRecordReader(RecordReader):
     """Stock Hadoop reader: full scan of text blocks, one record per line."""
 
+    def __init__(self, split: InputSplit, hdfs: Hdfs, cost: CostModel, node_id: int) -> None:
+        super().__init__(split, hdfs, cost, node_id)
+        self.planner = PhysicalPlanner(hdfs)
+        self.executor = VectorizedExecutor(hdfs, cost, node_id)
+
     def __iter__(self) -> Iterator[tuple]:
-        node = self.hdfs.cluster.node(self.node_id)
-        cpu = self.cost.cpu(node)
         for block_id in self.split.block_ids:
-            replica = self._select_replica(
-                block_id, preferred=self.split.preferred_replicas.get(block_id)
+            plan = self.planner.plan_block(
+                block_id,
+                preferred=self.split.preferred_replicas.get(block_id),
+                prefer_node=self.node_id,
             )
-            payload = replica.payload
-            if not isinstance(payload, TextBlockPayload):
-                raise TypeError(
-                    f"TextRecordReader expects text replicas, found {payload.layout!r}"
-                )
-            block_bytes = payload.size_bytes()
-            self.read_seconds += self.cost.reader_setup()
-            self.read_seconds += self._charge_block_read(replica, block_bytes)
-            # Finding line boundaries, splitting attributes and building per-row objects is the
-            # CPU side of the full scan.
-            self.read_seconds += cpu.scan_text(
-                self.cost.scale_bytes(block_bytes), self.cost.scale_count(len(payload.lines))
-            )
+            scan = self.executor.execute_text(plan)
+            self.block_plans.append(scan.plan)
+            self.read_seconds += scan.seconds
+            self.bytes_read += scan.bytes_read
             offset = 0
-            for line in payload.lines:
+            for line in scan.lines:
                 self.records_emitted += 1
                 yield offset, line
                 offset += len(line) + 1

@@ -24,6 +24,8 @@ class MapTaskResult:
     records_read: int
     bytes_read: float
     used_index: bool
+    #: The per-block plans the reader executed (engine ``BlockPlan`` objects).
+    block_plans: list = field(default_factory=list)
 
     @property
     def compute_seconds(self) -> float:
@@ -67,4 +69,5 @@ class MapTask:
             records_read=reader.records_emitted,
             bytes_read=reader.bytes_read,
             used_index=reader.used_index,
+            block_plans=list(getattr(reader, "block_plans", ())),
         )

@@ -22,6 +22,7 @@ from repro.cluster.costmodel import CostModel, CostParameters
 from repro.cluster.failure import FailureEvent
 from repro.cluster.ledger import TransferLedger
 from repro.cluster.topology import Cluster
+from repro.engine.planner import PhysicalPlanner, QueryPlan
 from repro.hdfs.client import HdfsClient
 from repro.hdfs.filesystem import DataFile, Hdfs
 from repro.layouts.schema import Schema
@@ -65,6 +66,9 @@ class QueryResult:
     query_name: str
     records: list[tuple]
     job: JobResult
+    #: The physical plan the job executed: the per-block access paths and replicas of the
+    #: surviving map-task attempts (truthful under failure injection and reschedules).
+    plan: Optional[QueryPlan] = None
 
     @property
     def runtime_s(self) -> float:
@@ -84,6 +88,12 @@ class QueryResult:
     def sorted_records(self) -> list[tuple]:
         """Records in a canonical order, for cross-system result comparison."""
         return sorted(self.records, key=repr)
+
+    def explain(self) -> str:
+        """Rendering of the physical plan (access path and chosen replica per block)."""
+        if self.plan is None:
+            return f"QueryPlan for {self.query_name!r}: not captured"
+        return self.plan.explain()
 
 
 class BaseSystem(abc.ABC):
@@ -169,12 +179,47 @@ class BaseSystem(abc.ABC):
 
     # ------------------------------------------------------------------ queries
     def run_query(self, query, path: str, failure: Optional[FailureEvent] = None) -> QueryResult:
-        """Run one workload query (``repro.workloads.Query``) as a MapReduce job."""
+        """Run one workload query (``repro.workloads.Query``) as a MapReduce job.
+
+        The returned :class:`QueryResult` carries the plan the job *executed*, assembled from
+        the per-block plans of the surviving map-task attempts — so under failure injection it
+        reflects the fallbacks that actually happened, not a re-plan of a healthy cluster.
+        """
         schema = self.schema_of(path)
         jobconf = self._make_jobconf(query, path, schema)
         job = self.runner.run(jobconf, failure=failure)
+        plan = self._executed_plan(query, path, job)
         return QueryResult(
-            system=self.name, query_name=query.name, records=job.records, job=job
+            system=self.name, query_name=query.name, records=job.records, job=job, plan=plan
+        )
+
+    def plan_query(self, query, path: str) -> QueryPlan:
+        """The physical plan the engine chooses for ``query`` (without executing anything)."""
+        return PhysicalPlanner(self.hdfs).plan_query(path, self._annotation_for(query))
+
+    def explain(self, query, path: str) -> str:
+        """``EXPLAIN``-style rendering of :meth:`plan_query`."""
+        return self.plan_query(query, path).explain()
+
+    def _executed_plan(self, query, path: str, job: JobResult) -> QueryPlan:
+        """Assemble the executed :class:`QueryPlan` from the job's map-task results."""
+        executed = {}
+        for attempt in job.task_results:
+            for block_plan in getattr(attempt.result, "block_plans", ()):
+                executed[block_plan.block_id] = block_plan
+        plan = PhysicalPlanner(self.hdfs).query_frame(path, self._annotation_for(query))
+        plan.block_plans = [executed[block_id] for block_id in sorted(executed)]
+        return plan
+
+    @staticmethod
+    def _annotation_for(query):
+        """The query's selection/projection as a ``HailQuery`` annotation (planner input)."""
+        # Local import: repro.hail's package __init__ imports this module back via hail.system.
+        from repro.hail.annotation import HailQuery
+
+        return HailQuery(
+            filter=query.predicate,
+            projection=tuple(query.projection) if query.projection is not None else None,
         )
 
     def run_job(self, jobconf: JobConf, failure: Optional[FailureEvent] = None) -> JobResult:

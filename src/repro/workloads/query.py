@@ -35,7 +35,15 @@ class Query:
 
     @property
     def filter_attributes(self) -> tuple[str, ...]:
-        """Names (or ``@position`` strings) the predicate filters on, for display purposes."""
+        """Names (or ``@position`` strings) the predicate filters on, in clause order.
+
+        This is a planning input, not a display helper: the physical planner and the scheduler
+        (``choose_indexed_host``) try these attributes **in order** when picking the replica
+        whose clustered index to use, so predicate clause order doubles as the attribute
+        preference order — put the most selective (or most likely indexed) clause first.
+        Duplicated attributes are kept as written; consumers that need uniqueness deduplicate
+        via :meth:`repro.hail.predicate.Predicate.attributes`.
+        """
         if self.predicate is None:
             return ()
         names = []
