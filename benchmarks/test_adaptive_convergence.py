@@ -1,0 +1,39 @@
+"""Adaptive-indexing benchmark: LIAH-style convergence of a repeated workload."""
+
+from conftest import run_figure
+
+from repro.experiments import adaptive
+
+
+def test_adaptive_convergence(benchmark, config):
+    """Full scans pay forward: with zero upload-time indexes, repeating one single-attribute
+    query converges the deployment to fully indexed HAIL — per-query runtime drops
+    monotonically (within noise) to within 10% of the upload-time-indexed baseline."""
+    result = run_figure(benchmark, adaptive.adaptive_convergence, config)
+
+    rows = result.rows
+    assert len(rows) >= 4
+    for row in rows:
+        assert row["results_agree"]
+
+    # Round 0 pays the indexing penalty on top of its scans: at or above the scan baseline.
+    assert rows[0]["adaptive_runtime_s"] >= rows[0]["scan_runtime_s"]
+    assert rows[0]["index_coverage"] > 0.0
+    assert rows[0]["builds_committed"] > 0
+
+    # Convergence is monotone within noise: each round is no slower than the previous one.
+    for previous, current in zip(rows, rows[1:]):
+        assert current["adaptive_runtime_s"] <= previous["adaptive_runtime_s"] * 1.005
+        assert current["index_coverage"] >= previous["index_coverage"]
+
+    # The workload converges: near-full coverage, runtime within 10% of fully indexed HAIL,
+    # and RecordReader time indistinguishable from the upload-time index.
+    final = rows[-1]
+    assert final["index_coverage"] >= 0.9
+    assert final["adaptive_runtime_s"] <= 1.1 * final["indexed_runtime_s"]
+    assert final["adaptive_rr_ms"] <= 1.1 * final["indexed_rr_ms"]
+    assert final["adaptive_runtime_s"] < final["scan_runtime_s"]
+
+    # Every block is built at most once across the whole workload.
+    total_blocks = config.num_blocks
+    assert sum(row["builds_committed"] for row in rows) <= total_blocks

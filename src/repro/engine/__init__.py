@@ -7,13 +7,23 @@ privately inside their record readers:
 - :mod:`repro.engine.planner`     — :class:`PhysicalPlanner` producing inspectable
   :class:`QueryPlan` objects from the namenode's ``Dir_rep`` (with ``explain()``);
 - :mod:`repro.engine.executor`    — :class:`VectorizedExecutor` evaluating predicates
-  column-at-a-time over PAX partitions and charging the simulated RecordReader cost.
+  column-at-a-time over PAX partitions and charging the simulated RecordReader cost;
+- :mod:`repro.engine.adaptive`    — LIAH-style adaptive indexing: full scans stage indexed
+  replicas as a by-product (:class:`PendingIndexBuild`), which the scheduler registers
+  failure-safely after the map phase (:func:`commit_adaptive_builds`).
 
 Record readers are thin shells over ``planner.plan_block()`` + ``executor.execute()``; every
 :class:`~repro.systems.base.QueryResult` carries the :class:`QueryPlan` that produced it.
 """
 
 from repro.engine.access_path import AccessPath, BlockPlan
+from repro.engine.adaptive import (
+    ADAPTIVE_PROPERTY,
+    AdaptiveCommitReport,
+    AdaptiveJobContext,
+    PendingIndexBuild,
+    commit_adaptive_builds,
+)
 from repro.engine.executor import (
     BlockScanResult,
     TextScanResult,
@@ -25,11 +35,16 @@ from repro.engine.planner import PhysicalPlanner, QueryPlan, choose_indexed_host
 
 __all__ = [
     "AccessPath",
+    "ADAPTIVE_PROPERTY",
+    "AdaptiveCommitReport",
+    "AdaptiveJobContext",
     "BlockPlan",
     "BlockScanResult",
+    "PendingIndexBuild",
     "TextScanResult",
     "VectorizedExecutor",
     "clause_mask",
+    "commit_adaptive_builds",
     "vectorized_filter",
     "PhysicalPlanner",
     "QueryPlan",

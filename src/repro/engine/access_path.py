@@ -30,10 +30,15 @@ class AccessPath(enum.Enum):
     #: Range lookup in a Hadoop++ trojan index over a row-layout block: one contiguous row
     #: range, no per-column pruning and no PAX tuple reconstruction (Section 2 / Figure 7(b)).
     TROJAN_INDEX_SCAN = "trojan_index_scan"
+    #: A scan that *pays forward* (LIAH-style adaptive indexing): the block is answered exactly
+    #: like a full/projection scan, but as a by-product the executor sorts the data it read,
+    #: builds a clustered index on the filter attribute and stages an indexed replica so that
+    #: subsequent queries on this block upgrade to :attr:`INDEX_SCAN`.
+    ADAPTIVE_INDEX_BUILD = "adaptive_index_build"
 
     @property
     def uses_index(self) -> bool:
-        """True for the two index-backed access paths."""
+        """True for the two index-backed access paths (an adaptive build still *scans*)."""
         return self in (AccessPath.INDEX_SCAN, AccessPath.TROJAN_INDEX_SCAN)
 
     def __str__(self) -> str:  # pragma: no cover - display helper
@@ -62,7 +67,15 @@ class BlockPlan:
         Replica bytes the access path is expected to touch.
     fallback_reason:
         Why a cheaper access path was *not* chosen (``None`` when the best path was available),
-        e.g. ``"no alive replica indexed on visitDate"``.
+        e.g. ``"no replica indexed on visitDate"`` or — for blocks whose indexed replica exists
+        but sits on a dead datanode — ``"indexed replica of visitDate lost (dn2 dead)"``.
+    build_attribute:
+        For :attr:`AccessPath.ADAPTIVE_INDEX_BUILD` plans: the attribute whose clustered index
+        this scan builds as a by-product (``None`` otherwise).
+    build_seconds:
+        Simulated seconds the adaptive build added on top of the plain scan (sort, index
+        construction, replica write) — the incremental "indexing penalty" of LIAH's Figure-style
+        convergence curves.
     """
 
     block_id: int
@@ -72,11 +85,18 @@ class BlockPlan:
     estimated_rows: float = 0.0
     estimated_bytes: float = 0.0
     fallback_reason: Optional[str] = None
+    build_attribute: Optional[str] = None
+    build_seconds: float = 0.0
 
     @property
     def uses_index(self) -> bool:
         """True when this plan answers the block with an index scan."""
         return self.access_path.uses_index
+
+    @property
+    def builds_index(self) -> bool:
+        """True when this plan builds an adaptive index as a by-product of its scan."""
+        return self.access_path is AccessPath.ADAPTIVE_INDEX_BUILD
 
     def describe(self) -> str:
         """One-line rendering used by :meth:`QueryPlan.explain`."""
@@ -85,6 +105,8 @@ class BlockPlan:
         if self.attribute is not None:
             parts.append(f"on {self.attribute}")
         parts.append(f"~{int(self.estimated_rows)} rows, ~{int(self.estimated_bytes)} B")
+        if self.builds_index and self.build_attribute is not None:
+            parts.append(f"+build({self.build_attribute})")
         if self.fallback_reason:
             parts.append(f"[{self.fallback_reason}]")
         return "  ".join(parts)

@@ -18,13 +18,16 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cluster.costmodel import CostModel
 from repro.engine.access_path import AccessPath, BlockPlan
+from repro.engine.adaptive import PendingIndexBuild
 from repro.hdfs.block import Replica, TextBlockPayload
+from repro.hdfs.checksum import checksum_file_size
 from repro.hdfs.errors import ReplicaNotFoundError
 from repro.hdfs.filesystem import Hdfs
 from repro.layouts.pax import PaxBlock
 from repro.layouts.schema import Schema
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.hail's __init__ imports us back
+    from repro.engine.adaptive import AdaptiveJobContext
     from repro.hail.annotation import HailQuery
     from repro.hail.index import IndexLookup
     from repro.hail.predicate import Comparison, Predicate
@@ -103,6 +106,9 @@ class BlockScanResult:
     seconds: float
     bytes_read: float
     used_index: bool
+    #: Adaptive index staged as a by-product of this scan (``None`` for plain scans); the
+    #: scheduler commits it after the map phase via ``commit_adaptive_builds``.
+    pending_build: Optional[PendingIndexBuild] = None
 
 
 @dataclass
@@ -124,8 +130,18 @@ class VectorizedExecutor:
         self.node_id = node_id
 
     # ------------------------------------------------------------------ PAX / HAIL blocks
-    def execute(self, plan: BlockPlan, annotation: Optional[HailQuery]) -> BlockScanResult:
-        """Run one planned block: candidate lookup, vectorized filter, projection, cost."""
+    def execute(
+        self,
+        plan: BlockPlan,
+        annotation: Optional[HailQuery],
+        adaptive: Optional[AdaptiveJobContext] = None,
+    ) -> BlockScanResult:
+        """Run one planned block: candidate lookup, vectorized filter, projection, cost.
+
+        ``adaptive`` carries the job's adaptive-indexing context: staged replicas honour its
+        checksum option, and a cancelled build (stale ``Dir_rep``) refunds its budget slot.
+        The *decision* to build was already made by the planner via the plan's access path.
+        """
         from repro.hail.hail_block import HailBlock  # local: hail_block imports our kernels
         from repro.hail.index import IndexLookup
 
@@ -162,6 +178,25 @@ class VectorizedExecutor:
         seconds, read_bytes = self._charge_block(
             replica, payload, lookup, len(matching_rows), predicate, projection, used_index
         )
+
+        pending_build: Optional[PendingIndexBuild] = None
+        if plan.builds_index:
+            if used_index or predicate is None:
+                # Dir_rep was stale: the opened payload answered via an index after all, so
+                # there is nothing to pay forward; the charged budget slot goes back to the
+                # job and _reconcile relabels the plan below.
+                if adaptive is not None and plan.build_attribute is not None:
+                    adaptive.refund(plan.block_id, plan.build_attribute)
+                plan.build_attribute = None
+            else:
+                pending_build = self._build_adaptive(
+                    plan, replica, payload, predicate, projection, adaptive
+                )
+                seconds += plan.build_seconds
+                # The build fetched the columns the scan skipped: account those reads so
+                # BYTES_READ stays consistent with the charged I/O time.
+                read_bytes += pending_build.bytes_read
+
         self._reconcile(plan, payload, used_index, projection, lookup, read_bytes)
         return BlockScanResult(
             plan=plan,
@@ -173,6 +208,7 @@ class VectorizedExecutor:
             seconds=seconds,
             bytes_read=read_bytes,
             used_index=used_index,
+            pending_build=pending_build,
         )
 
     # ------------------------------------------------------------------ text blocks
@@ -198,6 +234,131 @@ class VectorizedExecutor:
         plan.estimated_bytes = block_bytes
         return TextScanResult(
             plan=plan, lines=list(payload.lines), seconds=seconds, bytes_read=block_bytes
+        )
+
+    # ------------------------------------------------------------------ adaptive index builds
+    def _build_adaptive(
+        self,
+        plan: BlockPlan,
+        replica: Replica,
+        payload,
+        predicate: Predicate,
+        projection: Optional[list[str]],
+        adaptive: Optional[AdaptiveJobContext],
+    ) -> PendingIndexBuild:
+        """Stage an indexed replica of the just-scanned block (LIAH's piggybacked build).
+
+        The task already holds the block's candidate columns in memory; building the index
+        means fetching the columns the scan skipped, sorting everything by the filter
+        attribute, writing the clustered index and flushing the new replica to the executing
+        node's local disk.  The payload is already columnar, so the build works directly on
+        the PAX minipages (sort-permute + reorder) instead of round-tripping through row
+        tuples.  Nothing touches HDFS metadata here — the staged build is only committed (by
+        ``commit_adaptive_builds``) if this task attempt survives the job.
+        """
+        from repro.hail.hail_block import HailBlock
+        from repro.hail.index import HailIndex
+        from repro.hail.replica_info import HailBlockReplicaInfo
+
+        attribute = plan.build_attribute
+        index, permutation = HailIndex.from_unsorted(
+            attribute, payload.pax.column(attribute), partition_size=payload.partition_size
+        )
+        block = HailBlock(
+            payload.pax.reorder(permutation),
+            attribute,
+            index,
+            bad_lines=payload.bad_lines,
+            partition_size=payload.partition_size,
+            logical_partition_size=payload.logical_partition_size,
+        )
+        # The staged replica keeps the source replica's physical layout: under the "no PAX
+        # conversion" ablation an adaptive rebuild stays row-wise, so the ablation's cost
+        # shape is preserved instead of silently converging to PAX behaviour.
+        block.pax_layout = payload.pax_layout
+        remaining_bytes = self._build_read_bytes(payload, predicate, projection)
+        seconds, write_bytes = self._charge_adaptive_build(
+            replica, payload, block, remaining_bytes
+        )
+        plan.build_seconds = seconds
+        checksums: tuple[int, ...] = ()
+        if adaptive is not None and adaptive.verify_checksums:
+            from repro.hdfs.checksum import chunk_checksums
+
+            checksums = tuple(chunk_checksums(block.pax.to_bytes()))
+        replica = Replica(
+            block_id=plan.block_id,
+            datanode_id=self.node_id,
+            payload=block,
+            checksums=checksums,
+            sort_attribute=attribute,
+            indexed_attribute=attribute,
+        )
+        info = HailBlockReplicaInfo(
+            datanode_id=self.node_id,
+            sort_attribute=attribute,
+            indexed_attribute=attribute,
+            index_size_bytes=block.index_size_bytes(),
+            block_size_bytes=block.size_bytes(),
+            num_records=block.num_records,
+            pax_layout=payload.pax_layout,
+            origin="adaptive",
+        )
+        return PendingIndexBuild(
+            block_id=plan.block_id,
+            datanode_id=self.node_id,
+            attribute=attribute,
+            replica=replica,
+            info=info,
+            build_seconds=seconds,
+            bytes_written=float(write_bytes),
+            bytes_read=remaining_bytes,
+        )
+
+    def _charge_adaptive_build(
+        self, replica: Replica, payload, new_block, remaining_bytes: float
+    ) -> tuple[float, float]:
+        """Incremental cost of the piggybacked build, through the same per-node cost models.
+
+        The scan already read the predicate/projection columns, so only ``remaining_bytes`` of
+        skipped columns are fetched (over the network when the scanned replica is remote, the
+        same way the scan's own reads are charged); then the block is sorted in memory, the
+        sparse index directory is written, checksums are recomputed (the new replica has
+        different bytes) and the replica is flushed sequentially.  All terms are per-core — a
+        map task is single-threaded, unlike the upload pipeline which spreads this work over
+        all cores of a datanode.
+        """
+        node = self.hdfs.cluster.node(self.node_id)
+        disk = self.cost.disk(node)
+        cpu = self.cost.cpu(node)
+
+        seconds = 0.0
+        if remaining_bytes:
+            seconds += self._charge_transfer(replica, remaining_bytes)
+
+        logical_values = int(self.cost.scale_count(payload.num_records))
+        pax_bytes = payload.data_size_bytes()
+        seconds += cpu.sort_block(logical_values, self.cost.scale_bytes(pax_bytes))
+        seconds += cpu.build_index(logical_values)
+        seconds += cpu.checksum(self.cost.scale_bytes(pax_bytes))
+
+        replica_bytes = new_block.size_bytes()
+        write_bytes = replica_bytes + checksum_file_size(replica_bytes)
+        seconds += disk.sequential_write(self.cost.scale_bytes(write_bytes))
+        return seconds, float(write_bytes)
+
+    @staticmethod
+    def _build_read_bytes(
+        payload, predicate: Optional[Predicate], projection: Optional[list[str]]
+    ) -> float:
+        """Bytes of the columns an adaptive build must fetch beyond what the scan read."""
+        already_read = set(payload.columns_to_read(predicate, projection))
+        return float(
+            sum(
+                payload.pax.column_size_bytes(name)
+                for name in payload.schema.field_names
+                if name not in already_read
+            )
         )
 
     # ------------------------------------------------------------------ cost accounting
@@ -319,6 +480,10 @@ class VectorizedExecutor:
                     AccessPath.INDEX_SCAN if payload.pax_layout else AccessPath.TROJAN_INDEX_SCAN
                 )
             plan.attribute = payload.sort_attribute
+        elif plan.builds_index and plan.build_attribute is not None:
+            # The scan happened exactly as a full/projection scan would, plus the staged build;
+            # keep the ADAPTIVE_INDEX_BUILD label (it is what this attempt actually did).
+            actual = plan.access_path
         elif payload.pax_layout and projection is not None:
             actual = AccessPath.PAX_PROJECTION_SCAN
         else:

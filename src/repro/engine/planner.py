@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.engine.access_path import AccessPath, BlockPlan
+from repro.engine.adaptive import AdaptiveJobContext
 from repro.hdfs.filesystem import Hdfs
 from repro.hdfs.namenode import NameNode
 from repro.layouts.schema import Schema
@@ -118,6 +119,7 @@ class QueryPlan:
             "trojan_index_scans": self.count(AccessPath.TROJAN_INDEX_SCAN),
             "pax_projection_scans": self.count(AccessPath.PAX_PROJECTION_SCAN),
             "full_scans": self.count(AccessPath.FULL_SCAN),
+            "adaptive_index_builds": self.count(AccessPath.ADAPTIVE_INDEX_BUILD),
             "index_coverage": self.index_coverage,
         }
 
@@ -188,13 +190,25 @@ class PhysicalPlanner:
         annotation: Optional[HailQuery] = None,
         preferred: Optional[int] = None,
         prefer_node: Optional[int] = None,
+        adaptive: Optional[AdaptiveJobContext] = None,
     ) -> BlockPlan:
-        """Plan a single block (the record readers' entry point)."""
+        """Plan a single block (the record readers' entry point).
+
+        ``adaptive`` is the job's adaptive-indexing policy; asking it charges the job's build
+        budget, which is why only the record readers (which execute what they plan) pass it —
+        the split-phase :meth:`plan_query` pass never does.
+        """
         schema = self.hdfs.namenode.logical_block(block_id).schema
         predicate = self._bound_predicate(annotation, schema)
         projection = self._bound_projection(annotation, schema)
         return self._plan_block(
-            block_id, schema, predicate, projection, preferred=preferred, prefer_node=prefer_node
+            block_id,
+            schema,
+            predicate,
+            projection,
+            preferred=preferred,
+            prefer_node=prefer_node,
+            adaptive=adaptive,
         )
 
     def filter_attributes(self, path: str, annotation: Optional[HailQuery]) -> list[str]:
@@ -217,6 +231,7 @@ class PhysicalPlanner:
         projection: Optional[tuple[str, ...]],
         preferred: Optional[int],
         prefer_node: Optional[int],
+        adaptive: Optional[AdaptiveJobContext] = None,
     ) -> BlockPlan:
         namenode = self.hdfs.namenode
         hosts = namenode.block_datanodes(block_id, alive_only=True)
@@ -228,7 +243,6 @@ class PhysicalPlanner:
                 fallback_reason="no alive replica",
             )
 
-        fallback_reason: Optional[str] = None
         if preferred is not None and preferred in hosts:
             datanode_id = preferred
         else:
@@ -239,20 +253,63 @@ class PhysicalPlanner:
                 )
             if choice is not None:
                 datanode_id = choice[0]
+            elif prefer_node is not None and prefer_node in hosts:
+                datanode_id = prefer_node
             else:
-                if predicate is not None:
-                    fallback_reason = (
-                        "no alive replica indexed on "
-                        + "/".join(predicate.attributes(schema))
-                    )
-                if prefer_node is not None and prefer_node in hosts:
-                    datanode_id = prefer_node
-                else:
-                    datanode_id = hosts[0]
+                datanode_id = hosts[0]
 
-        return self._classify(
-            block_id, datanode_id, schema, predicate, projection, fallback_reason
-        )
+        plan = self._classify(block_id, datanode_id, schema, predicate, projection, None)
+        if predicate is not None and schema is not None and not plan.uses_index:
+            plan.fallback_reason = self._fallback_reason(
+                block_id, predicate.attributes(schema)
+            )
+            self._mark_adaptive_build(plan, predicate, schema, adaptive)
+        return plan
+
+    def _fallback_reason(self, block_id: int, attributes: Sequence[str]) -> str:
+        """Why no index scan was possible: never indexed, or the indexed replica was lost.
+
+        A block whose matching replica sits on a dead datanode reads very differently from a
+        block that was never indexed (the Figure 8 failover situation), so ``explain()`` names
+        the dead datanodes explicitly.
+        """
+        namenode = self.hdfs.namenode
+        for attribute in attributes:
+            all_hosts = namenode.hosts_with_index(block_id, attribute, alive_only=False)
+            if not all_hosts:
+                continue
+            dead = [
+                host for host in all_hosts if not self.hdfs.cluster.node(host).is_alive
+            ]
+            if dead and len(dead) == len(all_hosts):
+                lost = "/".join(f"dn{host}" for host in dead)
+                return f"indexed replica of {attribute} lost ({lost} dead)"
+        return "no replica indexed on " + "/".join(attributes)
+
+    @staticmethod
+    def _mark_adaptive_build(
+        plan: BlockPlan,
+        predicate: Predicate,
+        schema: Schema,
+        adaptive: Optional[AdaptiveJobContext],
+    ) -> None:
+        """Upgrade an index-less scan to an :attr:`ADAPTIVE_INDEX_BUILD` when the policy offers.
+
+        The build targets the first filter attribute — the same preference order
+        :func:`choose_indexed_host` uses — so repeated queries converge on the attribute the
+        workload actually filters by.
+        """
+        if adaptive is None or plan.datanode_id < 0:
+            return
+        if plan.access_path not in (AccessPath.FULL_SCAN, AccessPath.PAX_PROJECTION_SCAN):
+            return
+        attributes = predicate.attributes(schema)
+        if not attributes:
+            return
+        attribute = attributes[0]
+        if adaptive.offers(plan.block_id, attribute):
+            plan.access_path = AccessPath.ADAPTIVE_INDEX_BUILD
+            plan.build_attribute = attribute
 
     def _classify(
         self,

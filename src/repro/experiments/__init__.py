@@ -14,13 +14,23 @@ Overview (see DESIGN.md for the full per-experiment index):
 - :mod:`repro.experiments.queries`    — Figures 6 and 7 (HailSplitting disabled)
 - :mod:`repro.experiments.failover`   — Figure 8
 - :mod:`repro.experiments.splitting`  — Figure 9 (HailSplitting enabled)
+- :mod:`repro.experiments.adaptive`   — LIAH-style adaptive-indexing convergence (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureResult
 from repro.experiments.deployments import DatasetSpec, Deployment, build_deployment
-from repro.experiments import ablations, upload, scaleup, scaleout, queries, failover, splitting
+from repro.experiments import (
+    ablations,
+    adaptive,
+    failover,
+    queries,
+    scaleout,
+    scaleup,
+    splitting,
+    upload,
+)
 from repro.experiments.runner import run_all
 
 __all__ = [
@@ -30,11 +40,12 @@ __all__ = [
     "Deployment",
     "build_deployment",
     "ablations",
-    "upload",
-    "scaleup",
-    "scaleout",
-    "queries",
+    "adaptive",
     "failover",
+    "queries",
+    "scaleout",
+    "scaleup",
     "splitting",
+    "upload",
     "run_all",
 ]

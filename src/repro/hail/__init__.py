@@ -20,7 +20,13 @@ from repro.hail.replica_info import HailBlockReplicaInfo
 from repro.hail.upload import HailUploadPipeline
 from repro.hail.record_reader import HailRecordReader
 from repro.hail.input_format import HailInputFormat
-from repro.hail.scheduler import choose_indexed_host, index_coverage
+from repro.hail.scheduler import (
+    adaptive_replica_count,
+    check_dir_rep_consistency,
+    choose_indexed_host,
+    commit_adaptive_builds,
+    index_coverage,
+)
 from repro.hail.system import HailSystem
 
 __all__ = [
@@ -39,7 +45,10 @@ __all__ = [
     "HailUploadPipeline",
     "HailRecordReader",
     "HailInputFormat",
+    "adaptive_replica_count",
+    "check_dir_rep_consistency",
     "choose_indexed_host",
+    "commit_adaptive_builds",
     "index_coverage",
     "HailSystem",
 ]

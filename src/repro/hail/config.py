@@ -43,6 +43,17 @@ class HailConfig:
     verify_checksums:
         Functionally compute and verify chunk checksums during upload (costs are charged either
         way; switching this off only skips the Python-level CRC work for very large runs).
+    adaptive_indexing:
+        Enable LIAH-style adaptive indexing (off by default, keeping the paper's Figure 6/7
+        baselines bit-identical): whenever a query has to fall back to scanning a block, the
+        executor may sort the data it read, build a clustered index on the filter attribute and
+        register an indexed replica so that subsequent queries index-scan the block.
+    adaptive_offer_rate:
+        Fraction of index-less block scans that pay forward per job (1.0 = every scan builds;
+        lower rates amortise the build cost over more queries, LIAH's "eager adaptivity" knob).
+    adaptive_budget_per_job:
+        Hard cap on the number of adaptive builds one job may perform (``None`` = unlimited);
+        bounds the indexing penalty any single query can be charged.
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -52,6 +63,9 @@ class HailConfig:
     convert_to_pax: bool = True
     splitting_policy: bool = True
     verify_checksums: bool = True
+    adaptive_indexing: bool = False
+    adaptive_offer_rate: float = 1.0
+    adaptive_budget_per_job: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -65,6 +79,10 @@ class HailConfig:
                 f"cannot create {len(self.index_attributes)} indexes with only "
                 f"{self.replication} replicas; raise the replication factor"
             )
+        if not 0.0 <= self.adaptive_offer_rate <= 1.0:
+            raise ValueError("adaptive_offer_rate must lie in [0, 1]")
+        if self.adaptive_budget_per_job is not None and self.adaptive_budget_per_job < 0:
+            raise ValueError("adaptive_budget_per_job must be non-negative")
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -100,6 +118,20 @@ class HailConfig:
     def with_splitting(self, enabled: bool) -> "HailConfig":
         """Copy of this configuration with HailSplitting toggled."""
         return replace(self, splitting_policy=enabled)
+
+    def with_adaptive(
+        self,
+        enabled: bool = True,
+        offer_rate: Optional[float] = None,
+        budget_per_job: Optional[int] = None,
+    ) -> "HailConfig":
+        """Copy of this configuration with adaptive indexing toggled/tuned."""
+        overrides: dict = {"adaptive_indexing": enabled}
+        if offer_rate is not None:
+            overrides["adaptive_offer_rate"] = offer_rate
+        if budget_per_job is not None:
+            overrides["adaptive_budget_per_job"] = budget_per_job
+        return replace(self, **overrides)
 
     def with_replication(self, replication: int) -> "HailConfig":
         """Copy of this configuration with a different replication factor."""

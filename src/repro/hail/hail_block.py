@@ -17,7 +17,6 @@ from typing import Any, Iterable, Optional, Sequence
 
 from repro.hail.index import HailIndex, IndexLookup
 from repro.hail.predicate import Predicate
-from repro.hail.sortindex import sort_permutation
 from repro.hdfs.block import BlockPayload
 from repro.layouts import serialization
 from repro.layouts.pax import PaxBlock
@@ -84,16 +83,12 @@ class HailBlock(BlockPayload):
                 partition_size=partition_size,
                 logical_partition_size=logical_partition_size,
             )
-        column = pax.column(sort_attribute)
-        permutation = sort_permutation(column)
-        sorted_pax = pax.reorder(permutation)
-        # The column was just reordered by ``permutation``, so validation can be skipped.
-        index = HailIndex.build(
-            sort_attribute,
-            sorted_pax.column(sort_attribute),
-            partition_size=partition_size,
-            assume_sorted=True,
+        # One shared sort-and-index entry point for upload-time and adaptive builds: the index
+        # is created over the sorted column and its permutation reorders all other minipages.
+        index, permutation = HailIndex.from_unsorted(
+            sort_attribute, pax.column(sort_attribute), partition_size=partition_size
         )
+        sorted_pax = pax.reorder(permutation)
         return cls(
             sorted_pax,
             sort_attribute,

@@ -95,6 +95,33 @@ class HailIndex:
                     )
         return cls(attribute, sorted_values, partition_size)
 
+    @classmethod
+    def from_unsorted(
+        cls, attribute: str, values: Sequence[Any], partition_size: int = 1024
+    ) -> tuple["HailIndex", list[int]]:
+        """Sort an unsorted column and index it in one step (``HailBlock.build``'s core).
+
+        Both the upload pipeline and the adaptive (lazy) build funnel through this: upload
+        starts from the client's arrival order, an adaptive build from whatever row order the
+        scan encountered.  Returns ``(index, permutation)`` where ``permutation[i]`` is the
+        original row id of sorted position ``i`` — the caller reorders the block's other
+        columns with it (``PaxBlock.reorder``) so the clustered property holds for the whole
+        replica.  The directory only needs each partition's *first* key, so the keys are
+        sampled through the permutation directly and no sorted copy of the column is
+        materialized (the caller's ``reorder`` is the one pass that produces sorted data).
+        """
+        if partition_size < 1:
+            raise ValueError("partition_size must be at least 1")
+        from repro.hail.sortindex import sort_permutation
+
+        permutation = sort_permutation(values)
+        index = cls(attribute, (), partition_size)
+        index.num_values = len(values)
+        index.partition_keys = [
+            values[permutation[start]] for start in range(0, len(values), partition_size)
+        ]
+        return index, permutation
+
     # ------------------------------------------------------------------ lookups
     @property
     def num_partitions(self) -> int:

@@ -21,6 +21,7 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext, next_fallback_salt
 from repro.engine.planner import PhysicalPlanner
 from repro.hail.annotation import resolve_annotation
 from repro.hail.config import HailConfig
@@ -40,6 +41,7 @@ class HailInputFormat(InputFormat):
 
     # ------------------------------------------------------------------ splits
     def get_splits(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel) -> list[InputSplit]:
+        self._prepare_adaptive_context(jobconf)
         locations = hdfs.namenode.block_locations(jobconf.input_path, alive_only=True)
         if not locations:
             return []
@@ -73,6 +75,25 @@ class HailInputFormat(InputFormat):
     def split_phase_cost(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel, num_blocks: int) -> float:
         """HAIL keeps index metadata in the namenode, so no block headers are read here."""
         return cost.split_phase(num_blocks, reads_block_headers=False)
+
+    def _prepare_adaptive_context(self, jobconf: JobConf) -> None:
+        """Install/reset the job's adaptive-indexing context at job (re-)start.
+
+        ``get_splits`` runs exactly once per simulated map phase, so resetting the context's
+        build budget here makes the failure runner's baseline probe and the measured run offer
+        the same builds.  Jobs built outside :class:`~repro.hail.system.HailSystem` get a
+        fallback context when the config enables adaptivity, with a process-wide fresh salt so
+        repeated queries draw fresh offers even when every job constructs its own input format
+        (the system facade threads its own monotone salt instead).
+        """
+        context = jobconf.properties.get(ADAPTIVE_PROPERTY)
+        if context is None:
+            if self.config.adaptive_indexing:
+                jobconf.properties[ADAPTIVE_PROPERTY] = AdaptiveJobContext.from_config(
+                    self.config, salt=next_fallback_salt()
+                )
+        else:
+            context.begin_run()
 
     # ------------------------------------------------------------------ policies
     def _default_splitting(

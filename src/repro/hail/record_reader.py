@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext, PendingIndexBuild
 from repro.engine.executor import VectorizedExecutor
 from repro.engine.planner import PhysicalPlanner
 from repro.hail.annotation import HailQuery, resolve_annotation
@@ -43,6 +44,12 @@ class HailRecordReader(RecordReader):
         self.annotation: Optional[HailQuery] = resolve_annotation(jobconf)
         self.planner = PhysicalPlanner(hdfs)
         self.executor = VectorizedExecutor(hdfs, cost, node_id)
+        #: The job's adaptive-indexing policy (installed by HailSystem/HailInputFormat when
+        #: ``HailConfig.adaptive_indexing`` is on; ``None`` keeps the reader purely read-only).
+        self.adaptive: Optional[AdaptiveJobContext] = jobconf.properties.get(ADAPTIVE_PROPERTY)
+        #: Adaptive index builds staged by this task's scans, committed (failure-safely,
+        #: deduplicated) by the scheduler only if this attempt survives the job.
+        self.adaptive_builds: list[PendingIndexBuild] = []
         #: Number of blocks answered by index scan vs. full scan (for reports/tests).
         self.index_scans = 0
         self.full_scans = 0
@@ -55,11 +62,14 @@ class HailRecordReader(RecordReader):
                 annotation=self.annotation,
                 preferred=self.split.preferred_replicas.get(block_id),
                 prefer_node=self.node_id,
+                adaptive=self.adaptive,
             )
-            scan = self.executor.execute(plan, self.annotation)
+            scan = self.executor.execute(plan, self.annotation, adaptive=self.adaptive)
             self.block_plans.append(scan.plan)
             self.read_seconds += scan.seconds
             self.bytes_read += scan.bytes_read
+            if scan.pending_build is not None:
+                self.adaptive_builds.append(scan.pending_build)
             if scan.used_index:
                 self.index_scans += 1
                 self.used_index = True

@@ -28,11 +28,20 @@ class HailBlockReplicaInfo:
     #: the physical planner uses this to tell projection scans from full scans without opening
     #: the block payload.
     pax_layout: bool = True
+    #: ``"upload"`` for replicas indexed by the HAIL upload pipeline, ``"adaptive"`` for
+    #: replicas whose index was built lazily as a by-product of query execution (LIAH);
+    #: eviction/budget policies and the failure tests key on this.
+    origin: str = "upload"
 
     @property
     def has_index(self) -> bool:
         """True when this replica carries a usable clustered index."""
         return self.indexed_attribute is not None
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when this replica was created by adaptive (lazy) indexing."""
+        return self.origin == "adaptive"
 
     def covers(self, attribute: str) -> bool:
         """True when this replica's clustered index is on ``attribute``."""
@@ -49,4 +58,5 @@ class HailBlockReplicaInfo:
             "block_size_bytes": self.block_size_bytes,
             "num_records": self.num_records,
             "pax_layout": self.pax_layout,
+            "origin": self.origin,
         }

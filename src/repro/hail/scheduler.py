@@ -8,15 +8,29 @@ HAIL changes two decisions that stock Hadoop makes purely on data locality and a
 Both decisions live in the unified engine now — see
 :func:`repro.engine.planner.choose_indexed_host` (re-exported here for backwards compatibility)
 and :class:`repro.engine.planner.PhysicalPlanner`.  This module keeps the namenode-level
-reporting helpers used by experiments and tests.
+reporting helpers used by experiments and tests, plus the scheduling side of adaptive (lazy)
+indexing: :func:`commit_adaptive_builds` (re-exported from the engine) registers the indexed
+replicas that scans staged as a by-product — only for surviving attempts, deduplicated across
+speculative/rescheduled tasks, and never against a dead datanode — and
+:func:`check_dir_rep_consistency` lets tests assert that no failure leaves ``Dir_rep`` pointing
+at replicas that were never flushed.
 """
 
 from __future__ import annotations
 
+from repro.engine.adaptive import commit_adaptive_builds  # noqa: F401  (re-export)
 from repro.engine.planner import choose_indexed_host  # noqa: F401  (re-export)
+from repro.hdfs.filesystem import Hdfs
 from repro.hdfs.namenode import NameNode
 
-__all__ = ["choose_indexed_host", "index_coverage", "replica_distribution"]
+__all__ = [
+    "choose_indexed_host",
+    "commit_adaptive_builds",
+    "index_coverage",
+    "replica_distribution",
+    "adaptive_replica_count",
+    "check_dir_rep_consistency",
+]
 
 
 def index_coverage(namenode: NameNode, path: str, attribute: str) -> float:
@@ -43,3 +57,57 @@ def replica_distribution(namenode: NameNode, path: str) -> dict[str, int]:
             key = getattr(info, "indexed_attribute", None) if info is not None else None
             histogram[str(key)] = histogram.get(str(key), 0) + 1
     return histogram
+
+
+def adaptive_replica_count(namenode: NameNode, path: str) -> int:
+    """Number of ``Dir_rep`` entries of ``path`` whose index was built adaptively (LIAH)."""
+    count = 0
+    for block_id in namenode.file_blocks(path):
+        for datanode_id in namenode.block_datanodes(block_id, alive_only=False):
+            info = namenode.replica_info(block_id, datanode_id)
+            if info is not None and info.is_adaptive:
+                count += 1
+    return count
+
+
+def check_dir_rep_consistency(hdfs: Hdfs, path: str) -> list[str]:
+    """Invariants tying ``Dir_rep`` to the physically stored replicas; returns violations.
+
+    Used by the failure-injection tests: after any sequence of adaptive builds, node deaths and
+    reschedules there must be (1) no ``Dir_rep`` entry without a matching stored replica, (2) no
+    entry whose indexed attribute disagrees with the replica's payload, and (3) at most one
+    adaptive index per ``(block, attribute)`` — a rescheduled task must not have built the same
+    block index twice.
+    """
+    violations: list[str] = []
+    namenode = hdfs.namenode
+    for block_id in namenode.file_blocks(path):
+        adaptive_attributes: dict[str, int] = {}
+        for datanode_id in namenode.block_datanodes(block_id, alive_only=False):
+            info = namenode.replica_info(block_id, datanode_id)
+            if info is None:
+                continue
+            datanode = hdfs.datanode(datanode_id)
+            if not datanode.has_replica(block_id):
+                violations.append(
+                    f"block {block_id}: Dir_rep entry for dn{datanode_id} "
+                    "has no stored replica (half-registered)"
+                )
+                continue
+            replica = datanode.replica(block_id)
+            if getattr(info, "indexed_attribute", None) != replica.indexed_attribute:
+                violations.append(
+                    f"block {block_id}: Dir_rep says index on "
+                    f"{info.indexed_attribute!r} but replica on dn{datanode_id} carries "
+                    f"{replica.indexed_attribute!r}"
+                )
+            if info.is_adaptive:
+                attribute = str(info.indexed_attribute)
+                adaptive_attributes[attribute] = adaptive_attributes.get(attribute, 0) + 1
+        for attribute, count in adaptive_attributes.items():
+            if count > 1:
+                violations.append(
+                    f"block {block_id}: {count} adaptive indexes on {attribute} "
+                    "(double build)"
+                )
+    return violations

@@ -6,10 +6,15 @@ from typing import Optional, Sequence
 
 from repro.cluster.costmodel import CostModel, CostParameters
 from repro.cluster.topology import Cluster
+from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext
 from repro.hail.annotation import JOB_PROPERTY, HailQuery
 from repro.hail.config import HailConfig
 from repro.hail.input_format import HailInputFormat
-from repro.hail.scheduler import index_coverage, replica_distribution
+from repro.hail.scheduler import (
+    adaptive_replica_count,
+    index_coverage,
+    replica_distribution,
+)
 from repro.hail.upload import HailUploadPipeline
 from repro.layouts.schema import Schema
 from repro.mapreduce.job import JobConf
@@ -48,6 +53,9 @@ class HailSystem(BaseSystem):
         if cost is None:
             cost = CostModel(CostParameters(replication=config.replication))
         super().__init__(cluster, cost=cost, replication=config.replication)
+        #: Monotone per-job salt for adaptive indexing offers: repeating the same query gives
+        #: each run a fresh set of offered blocks, so low offer rates still converge.
+        self._adaptive_salt = 0
 
     # ------------------------------------------------------------------ upload
     def _upload_pipeline(self) -> HailUploadPipeline:
@@ -75,6 +83,11 @@ class HailSystem(BaseSystem):
             input_format=HailInputFormat(self.config),
         )
         jobconf.properties[JOB_PROPERTY] = annotation
+        if self.config.adaptive_indexing:
+            jobconf.properties[ADAPTIVE_PROPERTY] = AdaptiveJobContext.from_config(
+                self.config, salt=self._adaptive_salt
+            )
+            self._adaptive_salt += 1
         return jobconf
 
     # ------------------------------------------------------------------ introspection
@@ -85,3 +98,7 @@ class HailSystem(BaseSystem):
     def replica_distribution(self, path: str) -> dict[str, int]:
         """Histogram of replicas per indexed attribute for an uploaded dataset."""
         return replica_distribution(self.hdfs.namenode, path)
+
+    def adaptive_replica_count(self, path: str) -> int:
+        """Number of replicas whose index was built adaptively (lazily) for ``path``."""
+        return adaptive_replica_count(self.hdfs.namenode, path)

@@ -115,6 +115,18 @@ class NameNode:
         if replica_info is not None:
             self._dir_rep[(block_id, datanode_id)] = replica_info
 
+    def unregister_replica(self, block_id: int, datanode_id: int) -> None:
+        """Remove one replica from ``Dir_block``/``Dir_rep`` (lost-replica reconciliation).
+
+        Used when a replica is known to be superseded — e.g. an adaptive index rebuilt on
+        another node after its original host died; real HDFS drops such stale replicas when
+        the revived datanode's block report arrives.
+        """
+        datanodes = self._dir_block.get(block_id)
+        if datanodes is not None and datanode_id in datanodes:
+            datanodes.remove(datanode_id)
+        self._dir_rep.pop((block_id, datanode_id), None)
+
     # ------------------------------------------------------------------ lookups
     def logical_block(self, block_id: int) -> LogicalBlock:
         """The logical block metadata for ``block_id``."""

@@ -20,6 +20,8 @@ class Counters:
     RESCHEDULED_MAP_TASKS = "RESCHEDULED_MAP_TASKS"
     INDEX_SCANS = "INDEX_SCANS"
     FULL_SCANS = "FULL_SCANS"
+    ADAPTIVE_INDEX_BUILDS = "ADAPTIVE_INDEX_BUILDS"
+    ADAPTIVE_INDEXES_COMMITTED = "ADAPTIVE_INDEXES_COMMITTED"
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = defaultdict(float)

@@ -47,7 +47,12 @@ class MapReduceRunner:
         if failure is None:
             return self._run_once(jobconf, failure=None, kill_time_s=None)
 
-        baseline = self._run_once(jobconf, failure=None, kill_time_s=None)
+        # The undisturbed probe must not publish side effects (its attempts are discarded),
+        # so adaptive index builds are only committed by the measured run below — and there
+        # only for attempts that survived the failure, while the dead node is still dead.
+        baseline = self._run_once(
+            jobconf, failure=None, kill_time_s=None, commit_adaptive=False
+        )
         kill_time = failure.at_progress * baseline.map_phase_s
         try:
             return self._run_once(jobconf, failure=failure, kill_time_s=kill_time)
@@ -60,6 +65,7 @@ class MapReduceRunner:
         jobconf: JobConf,
         failure: Optional[FailureEvent],
         kill_time_s: Optional[float],
+        commit_adaptive: bool = True,
     ) -> JobResult:
         counters = Counters()
         plan = self.job_client.compute_splits(jobconf)
@@ -68,6 +74,8 @@ class MapReduceRunner:
         outcome = self.job_tracker.run_map_phase(
             tasks, counters, failure=failure, kill_time_s=kill_time_s
         )
+        if commit_adaptive:
+            self._commit_adaptive_builds(outcome, counters)
 
         map_output: list[tuple] = []
         for attempt in outcome.scheduled:
@@ -109,3 +117,21 @@ class MapReduceRunner:
             failure_node=outcome.failure_node,
             rescheduled_tasks=outcome.rescheduled,
         )
+
+    def _commit_adaptive_builds(self, outcome: ScheduleOutcome, counters: Counters) -> None:
+        """Register adaptive index builds staged by the *surviving* map-task attempts.
+
+        Runs while a killed node is still dead (the failure runner revives it only after the
+        measured run returns), so builds targeting the dead node are dropped — ``Dir_rep``
+        never ends up half-registered.  Deduplication of rescheduled/speculative attempts
+        happens inside :func:`repro.engine.adaptive.commit_adaptive_builds`.
+        """
+        if not any(
+            getattr(attempt.result, "adaptive_builds", ()) for attempt in outcome.scheduled
+        ):
+            return
+        from repro.engine.adaptive import commit_adaptive_builds
+
+        report = commit_adaptive_builds(self.hdfs, outcome.scheduled)
+        if report.num_committed:
+            counters.increment(Counters.ADAPTIVE_INDEXES_COMMITTED, report.num_committed)

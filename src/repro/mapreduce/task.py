@@ -26,6 +26,9 @@ class MapTaskResult:
     used_index: bool
     #: The per-block plans the reader executed (engine ``BlockPlan`` objects).
     block_plans: list = field(default_factory=list)
+    #: Adaptive index builds staged by this attempt (engine ``PendingIndexBuild`` objects);
+    #: the scheduler commits them only for attempts that survive the job.
+    adaptive_builds: list = field(default_factory=list)
 
     @property
     def compute_seconds(self) -> float:
@@ -58,6 +61,9 @@ class MapTask:
         counters.increment(
             Counters.INDEX_SCANS if reader.used_index else Counters.FULL_SCANS
         )
+        adaptive_builds = list(getattr(reader, "adaptive_builds", ()))
+        if adaptive_builds:
+            counters.increment(Counters.ADAPTIVE_INDEX_BUILDS, len(adaptive_builds))
         # The map function body itself (emitting projected values) is a tiny constant per record.
         map_function_s = 2.0e-8 * reader.records_emitted * cost.params.data_scale
         return MapTaskResult(
@@ -70,4 +76,5 @@ class MapTask:
             bytes_read=reader.bytes_read,
             used_index=reader.used_index,
             block_plans=list(getattr(reader, "block_plans", ())),
+            adaptive_builds=adaptive_builds,
         )

@@ -1,0 +1,34 @@
+"""Regenerate the golden Figure 6/7 values after a *deliberate* baseline change.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only run this when a PR intentionally changes the simulated cost model or planner behaviour;
+the diff of ``fig6_fig7_small.json`` then documents exactly which cells moved and must be
+justified in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, queries
+
+GOLDEN_PATH = Path(__file__).parent / "fig6_fig7_small.json"
+GOLDEN_CONFIG = ExperimentConfig(nodes=4, blocks_per_node=8, rows_per_block=100, seed=7)
+
+
+def main() -> None:
+    golden = {}
+    for name, producer in (("fig6", queries.fig6), ("fig7", queries.fig7)):
+        result = producer(GOLDEN_CONFIG)
+        golden[name] = {"figure": result.figure, "rows": result.rows}
+    with GOLDEN_PATH.open("w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro.hail.hail_block import HailBlock
 from repro.hail.index import HailIndex
 from repro.hail.predicate import Comparison, Operator, Predicate
 from repro.hail.sortindex import apply_permutation, is_sorted, sort_permutation
@@ -67,6 +68,77 @@ def test_index_full_range_covers_everything(values):
     lookup = index.lookup_range(None, None)
     assert lookup.start_row == 0
     assert lookup.end_row == len(sorted_values)
+
+
+# --------------------------------------------------------------------------- adaptive builds
+@given(
+    values=st.lists(_INTS, min_size=0, max_size=300),
+    partition_size=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=150, deadline=None)
+def test_adaptive_index_directory_matches_upload_time_index(values, partition_size):
+    """``from_unsorted`` (the adaptive entry point) builds the identical index directory that
+    the upload pipeline builds after its explicit sort — same keys, same partitioning."""
+    adaptive_index, permutation = HailIndex.from_unsorted(
+        "attr", values, partition_size=partition_size
+    )
+    upload_index = HailIndex.build(
+        "attr", sorted(values), partition_size=partition_size, assume_sorted=True
+    )
+    assert adaptive_index.partition_keys == upload_index.partition_keys
+    assert adaptive_index.num_values == upload_index.num_values
+    assert [values[i] for i in permutation] == sorted(values)
+
+
+_RECORDS = st.lists(st.tuples(_INTS, _INTS), min_size=0, max_size=200)
+_RANGE_OPS = st.sampled_from(
+    [Operator.EQ, Operator.LT, Operator.LE, Operator.GT, Operator.GE]
+)
+
+
+@st.composite
+def _predicates(draw):
+    """Random predicates over the (a, b) schema: single clause, between, or a conjunction."""
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return Predicate.comparison("a", draw(_RANGE_OPS), draw(_INTS))
+    if kind == 1:
+        low, high = draw(_INTS), draw(_INTS)
+        return Predicate.between("a", min(low, high), max(low, high))
+    return Predicate.comparison("a", draw(_RANGE_OPS), draw(_INTS)).and_(
+        Predicate.comparison("b", draw(_RANGE_OPS), draw(_INTS))
+    )
+
+
+@given(
+    records=_RECORDS,
+    partition_size=st.integers(min_value=1, max_value=32),
+    predicate=_predicates(),
+)
+@settings(max_examples=200, deadline=None)
+def test_adaptively_built_block_is_scan_equivalent_for_arbitrary_predicates(
+    records, partition_size, predicate
+):
+    """An adaptively built block answers any predicate exactly like an upload-time block.
+
+    The adaptive build starts from whatever row order the scan encountered (here: the raw
+    generated order), the upload-time build from the same rows handed to the upload pipeline;
+    both must return the same qualifying tuples as a brute-force filter over the raw records —
+    via the index-backed candidate lookup whenever the predicate touches the sort attribute.
+    """
+    adaptive_block = HailBlock.build(
+        _SCHEMA, records, sort_attribute="a", partition_size=partition_size
+    )
+    upload_block = HailBlock.build(
+        _SCHEMA, sorted(records), sort_attribute="a", partition_size=partition_size
+    )
+    brute_force = sorted(record for record in records if predicate.matches(record, _SCHEMA))
+
+    for block in (adaptive_block, upload_block):
+        lookup, used_index = block.candidate_rows(predicate)
+        assert used_index  # every generated predicate has a clause on the sort attribute
+        rows = block.filter_rows(predicate, lookup)
+        assert sorted(block.project_rows(rows, None)) == brute_force
 
 
 # --------------------------------------------------------------------------- sort permutation
