@@ -1,0 +1,48 @@
+"""Lifecycle benchmark: managed adaptivity under disk pressure through a workload shift.
+
+Pins the acceptance properties of the adaptive-index lifecycle manager: with eviction and
+auto-tuning enabled, total adaptive-replica bytes stay under the configured ceiling for the
+whole run, the cold attribute's replicas are the ones evicted (LRU), and the steady-state
+runtime after convergence lands within 10% of the fully-indexed baseline — while an unmanaged
+control deployment accumulates past the ceiling.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import adaptive_lifecycle
+
+
+def test_adaptive_lifecycle_curve(benchmark, config):
+    """Convergence-then-steady-state under disk pressure: bounded bytes, indexed-level speed."""
+    result = run_figure(benchmark, adaptive_lifecycle.adaptive_lifecycle_curve, config)
+    rows = result.rows
+    phase_a, phase_b = adaptive_lifecycle.PHASE_ATTRIBUTES
+    assert len(rows) >= 10
+
+    # Functional correctness every round, for both the managed and the control deployment.
+    for row in rows:
+        assert row["results_agree"]
+
+    # The configured ceiling holds at every sampled round (the eviction guarantee)...
+    for row in rows:
+        assert row["adaptive_bytes"] <= row["adaptive_bytes_ceiling"]
+        assert row["max_node_adaptive_bytes"] <= row["node_budget_bytes"]
+    # ... while the unmanaged control deployment ends above it (unbounded accumulation).
+    assert rows[-1]["control_adaptive_bytes"] > rows[-1]["adaptive_bytes_ceiling"]
+
+    # Disk pressure actually fired, and it evicted the *cold* attribute: phase A's coverage
+    # decays under phase B's builds while phase B's coverage converges to full.
+    assert rows[-1]["evictions_total"] > 0
+    peak_phase_a = max(row["coverage_f1"] for row in rows)
+    assert rows[-1]["coverage_f1"] < peak_phase_a
+    assert rows[-1]["coverage_f3"] == 1.0
+
+    # The auto-tuner raised the offer rate once savings materialised (phase A converges).
+    assert rows[-1]["offer_rate"] >= rows[0]["offer_rate"]
+    # The budget is tuned to a finite positive value after the first builds were observed.
+    assert rows[-1]["budget"] is not None and rows[-1]["budget"] >= 1
+
+    # Steady state: within 10% of the fully-indexed baseline of the shifted attribute.
+    final = rows[-1]
+    assert final["phase_attribute"] == phase_b
+    assert final["runtime_s"] <= 1.1 * final["indexed_runtime_s"]

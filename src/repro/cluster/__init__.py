@@ -9,7 +9,7 @@ laptop-scale simulation: every node carries a :class:`HardwareProfile` and all d
 from repro.cluster.hardware import HardwareProfile
 from repro.cluster.node import Node, NodeState
 from repro.cluster.topology import Cluster
-from repro.cluster.disk import DiskModel
+from repro.cluster.disk import DiskModel, DiskPressurePolicy
 from repro.cluster.network import NetworkModel
 from repro.cluster.cpu import CpuModel
 from repro.cluster.costmodel import CostModel, CostParameters
@@ -23,6 +23,7 @@ __all__ = [
     "NodeState",
     "Cluster",
     "DiskModel",
+    "DiskPressurePolicy",
     "NetworkModel",
     "CpuModel",
     "CostModel",

@@ -1,12 +1,75 @@
-"""Disk cost model: sequential transfers, seeks and read/write contention."""
+"""Disk cost model: sequential transfers, seeks, read/write contention — and disk pressure.
+
+Besides the timing model (:class:`DiskModel`), this module defines the *capacity* side of a
+node's disks: :class:`DiskPressurePolicy` turns a per-node byte ceiling plus high/low watermarks
+into the two questions the adaptive-index lifecycle manager asks — "is this node under
+pressure?" and "how many bytes must eviction free?" (see :mod:`repro.engine.lifecycle`).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.hardware import HardwareProfile
 
 _MB = 1024.0 * 1024.0
+
+#: Default pressure trigger / drain target, shared with ``HailConfig``'s lifecycle knobs so
+#: the two declarations cannot drift apart.
+DEFAULT_HIGH_WATERMARK = 0.85
+DEFAULT_LOW_WATERMARK = 0.70
+
+
+@dataclass(frozen=True)
+class DiskPressurePolicy:
+    """Per-node disk-capacity policy: when is a node full enough to trigger eviction?
+
+    Mirrors the watermark scheme of real storage daemons (HDFS balancer thresholds, Elasticsearch
+    flood stages): a node whose tracked usage exceeds ``high_watermark * capacity_bytes`` is
+    *under pressure*, and eviction should free bytes until usage falls back to
+    ``low_watermark * capacity_bytes`` (the gap between the watermarks is hysteresis — it keeps
+    the evictor from firing on every job once usage hovers near the ceiling).  The policy is
+    agnostic about *which* byte count it bounds; the adaptive-index lifecycle manager feeds it
+    each node's adaptive-replica footprint (its opportunistic-storage budget).
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Per-node ceiling in bytes for the tracked usage; ``None`` disables pressure entirely
+        (nothing is ever evicted, the pre-lifecycle behaviour).
+    high_watermark:
+        Fraction of ``capacity_bytes`` above which the node counts as under pressure.
+    low_watermark:
+        Fraction of ``capacity_bytes`` eviction drains the node down to.
+    """
+
+    capacity_bytes: Optional[float] = None
+    high_watermark: float = DEFAULT_HIGH_WATERMARK
+    low_watermark: float = DEFAULT_LOW_WATERMARK
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive (or None to disable pressure)")
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError("watermarks must satisfy 0 < low <= high <= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when a capacity ceiling is configured."""
+        return self.capacity_bytes is not None
+
+    def under_pressure(self, used_bytes: float) -> bool:
+        """True when ``used_bytes`` exceeds the high watermark of the capacity ceiling."""
+        if self.capacity_bytes is None:
+            return False
+        return used_bytes > self.high_watermark * self.capacity_bytes
+
+    def bytes_to_free(self, used_bytes: float) -> float:
+        """Bytes eviction must release to bring ``used_bytes`` down to the low watermark."""
+        if self.capacity_bytes is None:
+            return 0.0
+        return max(0.0, used_bytes - self.low_watermark * self.capacity_bytes)
 
 
 @dataclass(frozen=True)

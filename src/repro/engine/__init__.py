@@ -10,7 +10,11 @@ privately inside their record readers:
   column-at-a-time over PAX partitions and charging the simulated RecordReader cost;
 - :mod:`repro.engine.adaptive`    — LIAH-style adaptive indexing: full scans stage indexed
   replicas as a by-product (:class:`PendingIndexBuild`), which the scheduler registers
-  failure-safely after the map phase (:func:`commit_adaptive_builds`).
+  failure-safely after the map phase (:func:`commit_adaptive_builds`);
+- :mod:`repro.engine.lifecycle`   — adaptive-index lifecycle management:
+  :class:`AdaptiveLifecycleManager` runs disk-pressure LRU eviction
+  (:func:`evict_under_pressure`) and the :class:`AdaptiveTuner` feedback controller that
+  replaces the static offer-rate/budget knobs.
 
 Record readers are thin shells over ``planner.plan_block()`` + ``executor.execute()``; every
 :class:`~repro.systems.base.QueryResult` carries the :class:`QueryPlan` that produced it.
@@ -23,6 +27,15 @@ from repro.engine.adaptive import (
     AdaptiveJobContext,
     PendingIndexBuild,
     commit_adaptive_builds,
+)
+from repro.engine.lifecycle import (
+    LIFECYCLE_PROPERTY,
+    AdaptiveLifecycleManager,
+    AdaptiveTuner,
+    EvictionRecord,
+    JobObservation,
+    LifecycleReport,
+    evict_under_pressure,
 )
 from repro.engine.executor import (
     BlockScanResult,
@@ -38,6 +51,13 @@ __all__ = [
     "ADAPTIVE_PROPERTY",
     "AdaptiveCommitReport",
     "AdaptiveJobContext",
+    "AdaptiveLifecycleManager",
+    "AdaptiveTuner",
+    "EvictionRecord",
+    "JobObservation",
+    "LIFECYCLE_PROPERTY",
+    "LifecycleReport",
+    "evict_under_pressure",
     "BlockPlan",
     "BlockScanResult",
     "PendingIndexBuild",

@@ -70,8 +70,10 @@ class BlockPlan:
         e.g. ``"no replica indexed on visitDate"`` or — for blocks whose indexed replica exists
         but sits on a dead datanode — ``"indexed replica of visitDate lost (dn2 dead)"``.
     build_attribute:
-        For :attr:`AccessPath.ADAPTIVE_INDEX_BUILD` plans: the attribute whose clustered index
-        this scan builds as a by-product (``None`` otherwise).
+        The attribute whose clustered index this block's execution builds as a by-product
+        (``None`` when nothing is built).  Set for :attr:`AccessPath.ADAPTIVE_INDEX_BUILD`
+        plans, and — under multi-attribute convergence — for index scans that *piggyback* a
+        build on a second, still-uncovered filter attribute.
     build_seconds:
         Simulated seconds the adaptive build added on top of the plain scan (sort, index
         construction, replica write) — the incremental "indexing penalty" of LIAH's Figure-style
@@ -95,8 +97,16 @@ class BlockPlan:
 
     @property
     def builds_index(self) -> bool:
-        """True when this plan builds an adaptive index as a by-product of its scan."""
-        return self.access_path is AccessPath.ADAPTIVE_INDEX_BUILD
+        """True when this plan builds an adaptive index as a by-product of its execution.
+
+        Either the access path itself is :attr:`AccessPath.ADAPTIVE_INDEX_BUILD` (a scan that
+        pays forward), or an index scan carries a piggyback ``build_attribute`` (multi-attribute
+        convergence).
+        """
+        return (
+            self.access_path is AccessPath.ADAPTIVE_INDEX_BUILD
+            or self.build_attribute is not None
+        )
 
     def describe(self) -> str:
         """One-line rendering used by :meth:`QueryPlan.explain`."""

@@ -79,6 +79,19 @@ class AdaptiveJobContext:
     budget: Optional[int] = None
     salt: int = 0
     builds_offered: int = 0
+    #: Multi-attribute convergence: when a block is already answered via an index on one filter
+    #: attribute, the planner may additionally offer a *piggyback* build on the query's next
+    #: uncovered filter attribute, so mixed-predicate workloads converge to multi-index
+    #: coverage (see :meth:`PhysicalPlanner._mark_secondary_build`).
+    multi_attribute: bool = False
+    #: Measure counterfactual scan savings for adaptive-index scans (the lifecycle tuner's
+    #: benefit ledger).  Off unless the deployment auto-tunes: the measurement costs a second
+    #: cost-model evaluation per adaptive-index scan, wasted when nothing consumes it.
+    measure_savings: bool = False
+    #: Record per-replica index uses in the namenode (the LRU statistics eviction orders by).
+    #: The runner flips this off for the failure runner's baseline probe, whose side effects
+    #: are discarded — otherwise every use would be double-counted by the probe+measured pair.
+    record_usage: bool = True
     #: Functionally compute chunk checksums for staged replicas (mirrors the upload pipeline's
     #: ``HailConfig.verify_checksums``; the checksum *cost* is charged either way).
     verify_checksums: bool = False
@@ -86,6 +99,11 @@ class AdaptiveJobContext:
     #: speculative attempt that re-plans a block gets the original answer back instead of
     #: charging the budget a second time.
     decisions: dict = field(default_factory=dict)
+    #: Replicas whose index use was already recorded this run, keyed by
+    #: ``(block_id, datanode_id)``: rescheduled/speculative attempts re-plan blocks, and a
+    #: second ``touch_index_usage`` per run would skew the LRU eviction statistics the same
+    #: way a double-charged budget would skew the offers.
+    usage_touches: set = field(default_factory=set)
 
     @classmethod
     def from_config(cls, config: Any, salt: int = 0) -> "AdaptiveJobContext":
@@ -95,12 +113,14 @@ class AdaptiveJobContext:
             budget=config.adaptive_budget_per_job,
             salt=salt,
             verify_checksums=config.verify_checksums,
+            multi_attribute=getattr(config, "adaptive_multi_attribute", False),
         )
 
     def begin_run(self) -> None:
         """Reset the per-run budget and decisions (the input format calls this at job start)."""
         self.builds_offered = 0
         self.decisions.clear()
+        self.usage_touches.clear()
 
     def refund(self, block_id: int, attribute: str) -> None:
         """Return one charged offer (the executor cancelled the build, e.g. stale Dir_rep).
@@ -170,6 +190,16 @@ class AdaptiveCommitReport:
         """Number of adaptive indexes registered with the namenode."""
         return len(self.committed)
 
+    @property
+    def total_build_seconds(self) -> float:
+        """Simulated seconds the committed builds charged their scans (the tuner's cost side)."""
+        return sum(build.build_seconds for build in self.committed)
+
+    @property
+    def total_bytes_written(self) -> float:
+        """Replica bytes the committed builds flushed (disk-pressure bookkeeping)."""
+        return sum(build.bytes_written for build in self.committed)
+
 
 def commit_adaptive_builds(hdfs: "Hdfs", attempts: Iterable[Any]) -> AdaptiveCommitReport:
     """Register the adaptive indexes built by the *surviving* map-task attempts of one job.
@@ -215,19 +245,26 @@ def commit_adaptive_builds(hdfs: "Hdfs", attempts: Iterable[Any]) -> AdaptiveCom
             # exists — dropping first could destroy the index's last copy.
             _drop_stale_adaptive_replicas(hdfs, build.block_id, build.attribute)
             datanode = hdfs.datanode(target)
-            if datanode.has_replica(build.block_id):
+            displaced = datanode.has_replica(build.block_id)
+            if displaced:
                 # The target holds an *unindexed* replica (placement guarantees it): the
                 # sorted + indexed replica replaces it — HAIL replicas differ physically
                 # anyway, and the logical content is unchanged.  Otherwise the build adds a
                 # brand-new replica to Dir_block.
                 datanode.delete_replica(build.block_id)
             replica = build.replica
-            info = build.info
+            # Remember the displacement so a later disk-pressure eviction downgrades this
+            # replica back to a plain one instead of deleting the block's copy outright.
+            info = replace(build.info, displaced_plain_replica=displaced)
             if target != build.datanode_id:
                 replica = replace(replica, datanode_id=target)
                 info = replace(info, datanode_id=target)
             datanode.store_replica(replica)
             namenode.register_replica(build.block_id, target, replica_info=info)
+            # Creation counts as a use for the LRU statistics: a just-built index has no scan
+            # behind it yet, and without this touch it would look like the *coldest* entry and
+            # be the first thing disk-pressure eviction throws away — before ever paying off.
+            namenode.touch_index_usage(build.block_id, target)
             committed_keys.add(key)
             report.committed.append(build)
     return report

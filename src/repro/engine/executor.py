@@ -109,6 +109,14 @@ class BlockScanResult:
     #: Adaptive index staged as a by-product of this scan (``None`` for plain scans); the
     #: scheduler commits it after the map phase via ``commit_adaptive_builds``.
     pending_build: Optional[PendingIndexBuild] = None
+    #: True when the block was answered via a replica whose index was built *adaptively* —
+    #: the lifecycle tuner counts these as uses of past builds.
+    used_adaptive_index: bool = False
+    #: Measured scan savings of an adaptive-index use: the counterfactual cost of answering
+    #: this block with a scan minus the actual index-scan cost (0.0 otherwise).  Feeds the
+    #: tuner's benefit ledger (build cost is charged when the index is built; savings accrue
+    #: on every later use).
+    saved_seconds: float = 0.0
 
 
 @dataclass
@@ -163,12 +171,7 @@ class VectorizedExecutor:
             lookup, used_index = payload.candidate_rows(predicate)
         else:
             # No filter: the whole block qualifies (a plain PAX scan).
-            lookup = IndexLookup(
-                first_partition=0,
-                last_partition=max(0, -(-payload.num_records // payload.partition_size) - 1),
-                start_row=0,
-                end_row=payload.num_records,
-            )
+            lookup = self._whole_block_lookup(payload)
             used_index = False
 
         matching_rows = vectorized_filter(payload.pax, predicate, schema, lookup)
@@ -179,18 +182,39 @@ class VectorizedExecutor:
             replica, payload, lookup, len(matching_rows), predicate, projection, used_index
         )
 
+        saved_seconds = 0.0
+        used_adaptive_index = False
+        if used_index and adaptive is not None and adaptive.measure_savings:
+            info = self.hdfs.namenode.replica_info(plan.block_id, plan.datanode_id)
+            if info is not None and getattr(info, "is_adaptive", False):
+                # The block was answered by a previously built adaptive index: measure what a
+                # scan of the same replica would have cost (pure cost-model arithmetic over a
+                # whole-block lookup) and credit the difference to the tuner's ledger.
+                used_adaptive_index = True
+                scan_seconds, _ = self._charge_block(
+                    replica,
+                    payload,
+                    self._whole_block_lookup(payload),
+                    len(matching_rows),
+                    predicate,
+                    projection,
+                    used_index=False,
+                )
+                saved_seconds = max(0.0, scan_seconds - seconds)
+
         pending_build: Optional[PendingIndexBuild] = None
-        if plan.builds_index:
-            if used_index or predicate is None:
-                # Dir_rep was stale: the opened payload answered via an index after all, so
-                # there is nothing to pay forward; the charged budget slot goes back to the
-                # job and _reconcile relabels the plan below.
-                if adaptive is not None and plan.build_attribute is not None:
+        if plan.build_attribute is not None:
+            if self._cancel_build(plan, payload, predicate, used_index):
+                # Dir_rep was stale: the opened payload already answers (or carries) the index
+                # this build would create, so there is nothing to pay forward; the charged
+                # budget slot goes back to the job and _reconcile relabels the plan below.
+                if adaptive is not None:
                     adaptive.refund(plan.block_id, plan.build_attribute)
                 plan.build_attribute = None
             else:
                 pending_build = self._build_adaptive(
-                    plan, replica, payload, predicate, projection, adaptive
+                    plan, replica, payload, predicate, projection, adaptive,
+                    scanned_bytes=read_bytes,
                 )
                 seconds += plan.build_seconds
                 # The build fetched the columns the scan skipped: account those reads so
@@ -209,7 +233,37 @@ class VectorizedExecutor:
             bytes_read=read_bytes,
             used_index=used_index,
             pending_build=pending_build,
+            used_adaptive_index=used_adaptive_index,
+            saved_seconds=saved_seconds,
         )
+
+    @staticmethod
+    def _whole_block_lookup(payload) -> "IndexLookup":
+        """An :class:`IndexLookup` spanning the entire block (every partition, every row)."""
+        from repro.hail.index import IndexLookup
+
+        return IndexLookup(
+            first_partition=0,
+            last_partition=max(0, -(-payload.num_records // payload.partition_size) - 1),
+            start_row=0,
+            end_row=payload.num_records,
+        )
+
+    @staticmethod
+    def _cancel_build(plan: BlockPlan, payload, predicate, used_index: bool) -> bool:
+        """Should the staged build be cancelled because ``Dir_rep`` was stale?
+
+        A pay-forward scan (:attr:`AccessPath.ADAPTIVE_INDEX_BUILD`) is pointless as soon as
+        the opened payload answered via *any* index; a piggyback build on an index scan
+        (multi-attribute convergence) is only pointless when the opened replica turns out to
+        be sorted on the build attribute itself — being answered via an index on a different
+        attribute is exactly the situation the piggyback exists for.
+        """
+        if predicate is None:
+            return True
+        if plan.access_path is AccessPath.ADAPTIVE_INDEX_BUILD:
+            return used_index
+        return payload.sort_attribute == plan.build_attribute
 
     # ------------------------------------------------------------------ text blocks
     def execute_text(self, plan: BlockPlan) -> TextScanResult:
@@ -245,6 +299,7 @@ class VectorizedExecutor:
         predicate: Predicate,
         projection: Optional[list[str]],
         adaptive: Optional[AdaptiveJobContext],
+        scanned_bytes: float = 0.0,
     ) -> PendingIndexBuild:
         """Stage an indexed replica of the just-scanned block (LIAH's piggybacked build).
 
@@ -255,6 +310,11 @@ class VectorizedExecutor:
         the PAX minipages (sort-permute + reorder) instead of round-tripping through row
         tuples.  Nothing touches HDFS metadata here — the staged build is only committed (by
         ``commit_adaptive_builds``) if this task attempt survives the job.
+
+        ``scanned_bytes`` is what the scan already read; for a piggyback build riding on an
+        *index scan* (multi-attribute convergence) it determines how much of the block still
+        has to be fetched — an index scan touched only the qualifying partitions, unlike the
+        full/projection scans of the classic pay-forward path.
         """
         from repro.hail.hail_block import HailBlock
         from repro.hail.index import HailIndex
@@ -276,7 +336,13 @@ class VectorizedExecutor:
         # conversion" ablation an adaptive rebuild stays row-wise, so the ablation's cost
         # shape is preserved instead of silently converging to PAX behaviour.
         block.pax_layout = payload.pax_layout
-        remaining_bytes = self._build_read_bytes(payload, predicate, projection)
+        if plan.access_path is AccessPath.ADAPTIVE_INDEX_BUILD:
+            remaining_bytes = self._build_read_bytes(payload, predicate, projection)
+        else:
+            # Piggyback on an index scan: the scan read only the qualifying partitions of the
+            # needed columns, so the build fetches the rest of the block's data.
+            data_read = max(0.0, scanned_bytes - payload.bad_records_size_bytes())
+            remaining_bytes = max(0.0, float(payload.data_size_bytes()) - data_read)
         seconds, write_bytes = self._charge_adaptive_build(
             replica, payload, block, remaining_bytes
         )
@@ -480,7 +546,7 @@ class VectorizedExecutor:
                     AccessPath.INDEX_SCAN if payload.pax_layout else AccessPath.TROJAN_INDEX_SCAN
                 )
             plan.attribute = payload.sort_attribute
-        elif plan.builds_index and plan.build_attribute is not None:
+        elif plan.access_path is AccessPath.ADAPTIVE_INDEX_BUILD and plan.build_attribute is not None:
             # The scan happened exactly as a full/projection scan would, plus the staged build;
             # keep the ADAPTIVE_INDEX_BUILD label (it is what this attempt actually did).
             actual = plan.access_path

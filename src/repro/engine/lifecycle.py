@@ -1,0 +1,478 @@
+"""Adaptive-index lifecycle management: eviction, budget auto-tuning, steady state.
+
+Adaptive (lazy) indexing (:mod:`repro.engine.adaptive`) converges a deployment to the indexes
+its workload actually needs — but left alone, adaptive replicas accumulate forever and the
+``adaptive_offer_rate`` / ``adaptive_budget_per_job`` knobs stay whatever the operator guessed.
+This module closes both loops:
+
+- :class:`AdaptiveTuner` — a feedback controller replacing the static knobs.  It keeps a running
+  ledger of observed per-build cost (from the executor's charged build seconds) versus measured
+  scan savings (the executor's counterfactual "what would this block have cost as a scan?"),
+  raises the offer rate while adaptive indexes pay for themselves, decays it to zero on
+  index-hostile workloads, and sizes the per-job build budget so indexing overhead stays below a
+  configured fraction of a job's useful work.
+- :func:`evict_under_pressure` — the eviction policy.  Every node gets a byte budget for the
+  *adaptive* replicas it hosts (primary, upload-time data never counts): a node whose adaptive
+  footprint — measured from the namenode's ``Dir_rep`` — exceeds the
+  :class:`~repro.cluster.disk.DiskPressurePolicy` high watermark drops its least-recently-used
+  adaptive replicas (ordered by the planner's per-replica index-usage statistics kept in the
+  namenode) until the footprint falls below the low watermark.  Upload-time indexes are never
+  evicted, a block's last alive replica is never dropped, and ``Dir_rep`` entry + stored
+  replica are removed together, so eviction can never leave half-removed metadata behind.
+- :class:`AdaptiveLifecycleManager` — the per-deployment owner of both, invoked by the
+  MapReduce runner once per job (after the failure-safe commit of staged builds).
+
+All of this is opt-in: without the :class:`~repro.hail.config.HailConfig` lifecycle knobs the
+manager is never created and behaviour is bit-identical to plain adaptive indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.disk import DiskPressurePolicy
+
+if TYPE_CHECKING:  # only for annotations: keep this module import-light
+    from repro.hdfs.filesystem import Hdfs
+    from repro.mapreduce.counters import Counters
+
+#: Key under which the deployment's :class:`AdaptiveLifecycleManager` travels in
+#: ``JobConf.properties`` (installed by ``HailSystem``, consulted by the runner post-job).
+LIFECYCLE_PROPERTY = "hail.adaptive.lifecycle"
+
+
+# --------------------------------------------------------------------------- observations
+@dataclass(frozen=True)
+class JobObservation:
+    """What one finished job tells the tuner, assembled from the job's counters.
+
+    Attributes
+    ----------
+    builds_committed:
+        Adaptive index builds the job's surviving attempts registered.
+    build_seconds:
+        Simulated seconds those builds charged on top of their scans (the cost side).
+    adaptive_uses:
+        Blocks the job answered via a previously built *adaptive* index.
+    saved_seconds:
+        Measured scan savings of those uses: per block, the executor's counterfactual scan
+        cost minus the actual index-scan cost (the benefit side).
+    fallback_blocks:
+        Blocks the job answered without any index — the pool future builds could convert.
+    record_reader_seconds:
+        The job's *useful* RecordReader seconds: the runner passes total RecordReader time
+        minus every staged build's seconds (committed or not — dropped builds spent their
+        time too), and this sizes the build budget.
+    """
+
+    builds_committed: int = 0
+    build_seconds: float = 0.0
+    adaptive_uses: int = 0
+    saved_seconds: float = 0.0
+    fallback_blocks: int = 0
+    record_reader_seconds: float = 0.0
+
+    @classmethod
+    def from_counters(cls, counters: "Counters", useful_reader_seconds: float) -> "JobObservation":
+        """Snapshot the adaptive-indexing counters of one job.
+
+        ``useful_reader_seconds`` is build-free by contract: the runner already subtracted
+        the staged builds' seconds from the surviving attempts' RecordReader time.
+        """
+        from repro.mapreduce.counters import Counters
+
+        return cls(
+            builds_committed=int(counters.value(Counters.ADAPTIVE_INDEXES_COMMITTED)),
+            build_seconds=counters.value(Counters.ADAPTIVE_BUILD_SECONDS),
+            adaptive_uses=int(counters.value(Counters.ADAPTIVE_INDEX_USES)),
+            saved_seconds=counters.value(Counters.ADAPTIVE_SAVED_SECONDS),
+            fallback_blocks=int(counters.value(Counters.SCAN_FALLBACK_BLOCKS)),
+            record_reader_seconds=max(0.0, useful_reader_seconds),
+        )
+
+
+# --------------------------------------------------------------------------- the tuner
+@dataclass
+class AdaptiveTuner:
+    """Feedback controller for ``adaptive_offer_rate`` and ``adaptive_budget_per_job``.
+
+    The control law works off one :class:`JobObservation` per job:
+
+    - **raise** — when the job's measured savings exceed its build cost (adaptive indexes are
+      paying for themselves), the offer rate grows multiplicatively toward 1.0 so convergence
+      accelerates;
+    - **decay** — when a job neither builds, uses an adaptive index, nor scans (everything the
+      workload touches is already covered — the "index-hostile" steady state of random
+      predicates over covered attributes), or when the cumulative ledger shows builds not
+      paying back after a grace period, the offer rate shrinks multiplicatively and snaps to
+      0.0 below ``offer_floor`` so a hostile workload stops paying any build cost at all;
+    - **probe** — when fallback scans reappear after the rate decayed away (the workload
+      shifted to an uncovered attribute), the rate is restored to ``min_offer_rate`` so the
+      controller can re-learn.  Probing happens immediately while the ledger is healthy, and
+      after ``probe_cooldown`` build-free jobs otherwise — an unpaid ledger slows probing
+      down but can never freeze the controller at zero forever (the debt is stale precisely
+      because nothing has been built for a while).
+
+    The budget side bounds the indexing penalty of any single job: from the EMA of per-build
+    cost and per-job useful work, the tuner grants as many builds as fit into
+    ``overhead_fraction`` of a job's RecordReader time (at least ``min_budget`` so convergence
+    never stalls completely).
+    """
+
+    offer_rate: float = 0.5
+    budget: Optional[int] = None
+    overhead_fraction: float = 0.25
+    increase_factor: float = 1.5
+    decay_factor: float = 0.5
+    min_offer_rate: float = 0.05
+    offer_floor: float = 0.01
+    payback_fraction: float = 0.5
+    grace_jobs: int = 2
+    probe_cooldown: int = 4
+    min_budget: int = 1
+    ema_alpha: float = 0.3
+    #: Per-job decay of the payback ledger: the cost/benefit totals form a sliding window of
+    #: roughly ``1 / (1 - ledger_decay)`` jobs rather than a lifetime sum, so stale credit
+    #: from a long profitable history cannot mask a hostile workload shift indefinitely (nor
+    #: can ancient debt outlaw probing forever).
+    ledger_decay: float = 0.9
+
+    jobs_observed: int = 0
+    jobs_since_build: int = 0
+    total_build_seconds: float = 0.0
+    total_saved_seconds: float = 0.0
+    build_cost_ema: Optional[float] = None
+    reader_seconds_ema: Optional[float] = None
+
+    def observe(self, observation: JobObservation) -> None:
+        """Fold one finished job into the ledger and update both knobs."""
+        self.jobs_observed += 1
+        self.jobs_since_build = 0 if observation.builds_committed else self.jobs_since_build + 1
+        self.total_build_seconds = (
+            self.ledger_decay * self.total_build_seconds + observation.build_seconds
+        )
+        self.total_saved_seconds = (
+            self.ledger_decay * self.total_saved_seconds + observation.saved_seconds
+        )
+        if observation.builds_committed:
+            per_build = observation.build_seconds / observation.builds_committed
+            self.build_cost_ema = self._blend(self.build_cost_ema, per_build)
+        if observation.record_reader_seconds > 0:
+            self.reader_seconds_ema = self._blend(
+                self.reader_seconds_ema, observation.record_reader_seconds
+            )
+        self._update_offer_rate(observation)
+        self._update_budget()
+
+    # ------------------------------------------------------------------ internals
+    def _blend(self, ema: Optional[float], sample: float) -> float:
+        if ema is None:
+            return sample
+        return (1.0 - self.ema_alpha) * ema + self.ema_alpha * sample
+
+    @property
+    def _payback_ok(self) -> bool:
+        """True while recent savings keep up with recent build cost (decayed-window totals)."""
+        if self.total_build_seconds <= 0.0:
+            return True
+        return self.total_saved_seconds >= self.payback_fraction * self.total_build_seconds
+
+    def _update_offer_rate(self, observation: JobObservation) -> None:
+        if observation.saved_seconds > observation.build_seconds and observation.saved_seconds > 0:
+            self.offer_rate = min(
+                1.0, max(self.offer_rate, self.min_offer_rate) * self.increase_factor
+            )
+            return
+        idle = (
+            observation.builds_committed == 0
+            and observation.adaptive_uses == 0
+            and observation.fallback_blocks == 0
+        )
+        unpaid = (
+            observation.builds_committed > 0
+            and not self._payback_ok
+            and self.jobs_observed > self.grace_jobs
+        )
+        if idle or unpaid:
+            self.offer_rate *= self.decay_factor
+            if self.offer_rate < self.offer_floor:
+                self.offer_rate = 0.0
+        elif (
+            observation.fallback_blocks > 0
+            and self.offer_rate < self.min_offer_rate
+            and (self._payback_ok or self.jobs_since_build >= self.probe_cooldown)
+        ):
+            # Scans reappeared: probe cheaply.  An unpaid ledger delays the probe by
+            # ``probe_cooldown`` build-free jobs but never blocks it forever — with the rate
+            # at zero no builds ever run, so the debt would otherwise be frozen stale and
+            # the controller stuck in an absorbing state.
+            self.offer_rate = self.min_offer_rate
+
+    def _update_budget(self) -> None:
+        if self.build_cost_ema is None or self.build_cost_ema <= 0.0:
+            return  # no build observed yet: keep the budget unlimited until the first sample
+        if self.reader_seconds_ema is None or self.reader_seconds_ema <= 0.0:
+            return
+        tolerated = self.overhead_fraction * self.reader_seconds_ema
+        self.budget = max(self.min_budget, int(tolerated / self.build_cost_ema))
+
+
+# --------------------------------------------------------------------------- eviction
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One adaptive replica reclaimed by disk-pressure eviction.
+
+    ``downgraded`` tells the two reclamation modes apart: an adaptive replica that displaced a
+    plain replica at commit time is *downgraded* back to a plain, unindexed replica (the block
+    keeps its copy on the node, only the index is reclaimed), whereas a replica that was added
+    as an extra copy is deleted outright.  ``freed_bytes`` is the replica's footprint leaving
+    the node's *adaptive* byte budget in both cases.
+    """
+
+    block_id: int
+    datanode_id: int
+    attribute: str
+    freed_bytes: float
+    use_count: int
+    last_used_tick: int
+    downgraded: bool = False
+
+
+def evict_under_pressure(hdfs: "Hdfs", policy: DiskPressurePolicy) -> list[EvictionRecord]:
+    """Evict least-recently-used adaptive replicas from every node over its high watermark.
+
+    Pressure is measured against each node's **adaptive footprint** — the on-disk bytes of the
+    adaptive replicas ``Dir_rep`` registers on it (:meth:`NameNode.adaptive_bytes_on`).  The
+    policy's capacity is thus a per-node budget for opportunistic storage: primary, upload-time
+    replicas can never create (nor be consumed by) adaptive-index pressure.
+
+    The invariants the eviction loop maintains (and the lifecycle tests assert):
+
+    - only replicas whose ``Dir_rep`` entry carries ``origin="adaptive"`` are candidates —
+      upload-time indexes are never evicted, whatever the pressure;
+    - the block's data always survives: an adaptive replica that *displaced* a plain replica
+      at commit time is **downgraded** back to a plain, unindexed replica (only the index is
+      reclaimed, the replication factor is untouched), and an extra adaptive copy is deleted
+      outright only while the block has another alive replica — a block's last alive replica
+      is never dropped, whatever the pressure;
+    - per reclamation, ``Dir_rep``, ``Dir_block`` and the stored replica change together, so
+      no half-removed state can survive, and an eviction tombstone is recorded so the planner
+      can explain the resulting fallbacks as "evicted (disk pressure on dnN)";
+    - candidates are ordered least-recently-used first (by the namenode's planner-maintained
+      index-usage ticks, ties broken by lower use count, then block id for determinism), and
+      eviction stops as soon as the node is back under its low watermark.
+    """
+    records: list[EvictionRecord] = []
+    if not policy.enabled:
+        return records
+    namenode = hdfs.namenode
+    # One Dir_rep pass for every node's footprint: this hook runs after every job, so it must
+    # cost next to nothing when nothing is under pressure (or nothing is adaptive at all).
+    footprints = namenode.adaptive_bytes_by_node()
+    for node in hdfs.cluster.alive_nodes:
+        used = footprints.get(node.node_id, 0)
+        if not policy.under_pressure(used):
+            continue
+        to_free = policy.bytes_to_free(used)
+        datanode = hdfs.datanode(node.node_id)
+        candidates = []
+        for block_id in datanode.block_ids():
+            info = namenode.replica_info(block_id, node.node_id)
+            if info is None or not getattr(info, "is_adaptive", False):
+                continue
+            use_count, last_tick = namenode.index_usage(block_id, node.node_id)
+            candidates.append((last_tick, use_count, block_id, info))
+        candidates.sort()
+        freed = 0.0
+        for last_tick, use_count, block_id, info in candidates:
+            if freed >= to_free:
+                break
+            downgrade = getattr(info, "displaced_plain_replica", False)
+            if not downgrade:
+                other_alive = [
+                    datanode_id
+                    for datanode_id in namenode.block_datanodes(block_id, alive_only=True)
+                    if datanode_id != node.node_id
+                ]
+                if not other_alive:
+                    continue  # never drop the block's last alive replica
+            freed_bytes = float(info.size_on_disk_bytes)
+            namenode.record_index_eviction(block_id, info.indexed_attribute, node.node_id)
+            if downgrade:
+                _downgrade_replica(hdfs, node.node_id, block_id, info)
+            else:
+                namenode.unregister_replica(block_id, node.node_id)
+                datanode.delete_replica(block_id)
+            freed += freed_bytes
+            records.append(
+                EvictionRecord(
+                    block_id=block_id,
+                    datanode_id=node.node_id,
+                    attribute=info.indexed_attribute,
+                    freed_bytes=freed_bytes,
+                    use_count=use_count,
+                    last_used_tick=last_tick,
+                    downgraded=downgrade,
+                )
+            )
+    return records
+
+
+def _downgrade_replica(hdfs: "Hdfs", datanode_id: int, block_id: int, info) -> None:
+    """Strip the adaptive index off a replica, leaving a plain copy of the block's data.
+
+    The replica's PAX data is kept (it displaced the node's plain replica at commit time, so
+    deleting it would shrink the block's replication factor); the clustered index and the
+    ``Dir_rep`` index metadata are dropped, and the entry's origin becomes ``"evicted"`` so
+    the replica no longer counts against (or can be reclaimed from) the adaptive byte budget.
+    """
+    from repro.hail.hail_block import HailBlock
+    from repro.hail.replica_info import HailBlockReplicaInfo
+    from repro.hdfs.block import Replica
+
+    datanode = hdfs.datanode(datanode_id)
+    hdfs.namenode.reset_index_usage(block_id, datanode_id)
+    payload = datanode.replica(block_id).payload
+    plain_block = HailBlock(
+        payload.pax,
+        None,
+        None,
+        bad_lines=payload.bad_lines,
+        partition_size=payload.partition_size,
+        logical_partition_size=payload.logical_partition_size,
+    )
+    plain_block.pax_layout = payload.pax_layout
+    datanode.delete_replica(block_id)
+    datanode.store_replica(
+        Replica(block_id=block_id, datanode_id=datanode_id, payload=plain_block)
+    )
+    hdfs.namenode.register_replica_info(
+        block_id,
+        datanode_id,
+        HailBlockReplicaInfo(
+            datanode_id=datanode_id,
+            sort_attribute=None,
+            indexed_attribute=None,
+            index_size_bytes=0,
+            block_size_bytes=plain_block.size_bytes(),
+            num_records=info.num_records,
+            pax_layout=info.pax_layout,
+            origin="evicted",
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- the manager
+@dataclass
+class LifecycleReport:
+    """What the lifecycle manager did after one job."""
+
+    observation: JobObservation
+    evicted: list[EvictionRecord] = field(default_factory=list)
+    offer_rate: float = 0.0
+    budget: Optional[int] = None
+
+    @property
+    def num_evicted(self) -> int:
+        """Number of adaptive replicas dropped after this job."""
+        return len(self.evicted)
+
+    @property
+    def freed_bytes(self) -> float:
+        """Bytes that left the nodes' *adaptive byte budgets* after this job.
+
+        Note this is budget accounting, not physical disk reclaimed: a downgraded replica's
+        full footprint leaves the budget while its plain copy stays on disk (only the index
+        bytes are physically freed); deleted extra copies free their full footprint.
+        """
+        return sum(record.freed_bytes for record in self.evicted)
+
+
+class AdaptiveLifecycleManager:
+    """Per-deployment owner of the eviction policy and the knob tuner.
+
+    ``HailSystem`` creates one manager when the config enables eviction and/or auto-tuning,
+    installs it into every job's ``JobConf.properties`` under :data:`LIFECYCLE_PROPERTY`, and
+    reads :attr:`offer_rate` / :attr:`budget` back when stamping each job's
+    :class:`~repro.engine.adaptive.AdaptiveJobContext`.  The MapReduce runner calls
+    :meth:`after_job` once per measured job, after the staged builds were committed — so the
+    tuner sees exactly what reached the namenode, and eviction acts on post-commit disk usage.
+    """
+
+    #: How many of the most recent per-job :class:`LifecycleReport`\ s to retain for
+    #: monitoring (``manager.reports``); older reports are discarded so a long-lived
+    #: deployment does not grow without bound.
+    MAX_REPORTS = 128
+
+    def __init__(
+        self,
+        pressure: Optional[DiskPressurePolicy] = None,
+        tuner: Optional[AdaptiveTuner] = None,
+    ) -> None:
+        self.pressure = pressure if pressure is not None else DiskPressurePolicy()
+        self.tuner = tuner
+        self.reports: list[LifecycleReport] = []
+
+    @classmethod
+    def from_config(cls, config) -> Optional["AdaptiveLifecycleManager"]:
+        """Build the manager a :class:`~repro.hail.config.HailConfig` asks for (or ``None``).
+
+        Returns ``None`` unless adaptive indexing plus at least one lifecycle feature
+        (eviction or auto-tuning) is enabled, so default configurations never pay for — or
+        observe — any lifecycle machinery.
+        """
+        if not config.adaptive_indexing:
+            return None
+        if not (config.adaptive_eviction or config.adaptive_auto_tune):
+            return None
+        pressure = DiskPressurePolicy(
+            capacity_bytes=config.adaptive_disk_capacity_bytes if config.adaptive_eviction else None,
+            high_watermark=config.adaptive_disk_high_watermark,
+            low_watermark=config.adaptive_disk_low_watermark,
+        )
+        tuner = None
+        if config.adaptive_auto_tune:
+            tuner = AdaptiveTuner(
+                offer_rate=config.adaptive_offer_rate,
+                budget=config.adaptive_budget_per_job,
+                overhead_fraction=config.adaptive_overhead_fraction,
+            )
+        return cls(pressure=pressure, tuner=tuner)
+
+    # ------------------------------------------------------------------ knob views
+    @property
+    def offer_rate(self) -> float:
+        """The offer rate jobs should run with right now (tuned, or the static config value)."""
+        if self.tuner is None:
+            raise AttributeError("auto-tuning is off: read the static config knob instead")
+        return self.tuner.offer_rate
+
+    @property
+    def budget(self) -> Optional[int]:
+        """The per-job build budget jobs should run with right now."""
+        if self.tuner is None:
+            raise AttributeError("auto-tuning is off: read the static config knob instead")
+        return self.tuner.budget
+
+    @property
+    def auto_tunes(self) -> bool:
+        """True when this manager replaces the static offer/budget knobs with the tuner's."""
+        return self.tuner is not None
+
+    # ------------------------------------------------------------------ the per-job hook
+    def after_job(self, hdfs: "Hdfs", observation: JobObservation) -> LifecycleReport:
+        """Run the post-job lifecycle pass: feed the tuner, then relieve disk pressure."""
+        if self.tuner is not None:
+            self.tuner.observe(observation)
+        evicted = evict_under_pressure(hdfs, self.pressure)
+        report = LifecycleReport(
+            observation=observation,
+            evicted=evicted,
+            offer_rate=self.tuner.offer_rate if self.tuner is not None else 0.0,
+            budget=self.tuner.budget if self.tuner is not None else None,
+        )
+        self.reports.append(report)
+        if len(self.reports) > self.MAX_REPORTS:
+            del self.reports[: -self.MAX_REPORTS]
+        return report

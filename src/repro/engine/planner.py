@@ -119,7 +119,10 @@ class QueryPlan:
             "trojan_index_scans": self.count(AccessPath.TROJAN_INDEX_SCAN),
             "pax_projection_scans": self.count(AccessPath.PAX_PROJECTION_SCAN),
             "full_scans": self.count(AccessPath.FULL_SCAN),
-            "adaptive_index_builds": self.count(AccessPath.ADAPTIVE_INDEX_BUILD),
+            # Counts every plan that stages a build — pay-forward scans *and* piggyback
+            # builds riding on index scans — matching describe()'s "+build(...)" markers
+            # and the ADAPTIVE_INDEX_BUILDS job counter.
+            "adaptive_index_builds": sum(1 for plan in self.block_plans if plan.builds_index),
             "index_coverage": self.index_coverage,
         }
 
@@ -259,24 +262,44 @@ class PhysicalPlanner:
                 datanode_id = hosts[0]
 
         plan = self._classify(block_id, datanode_id, schema, predicate, projection, None)
-        if predicate is not None and schema is not None and not plan.uses_index:
-            plan.fallback_reason = self._fallback_reason(
-                block_id, predicate.attributes(schema)
-            )
-            self._mark_adaptive_build(plan, predicate, schema, adaptive)
+        if plan.uses_index and adaptive is not None and adaptive.record_usage:
+            # LRU bookkeeping for the lifecycle manager: this replica's index was chosen by a
+            # plan that will actually execute.  ``adaptive`` marks the execution path (only
+            # record readers pass it), so read-only passes — ``explain()``, the split-phase
+            # ``plan_query`` — never skew the eviction order; ``record_usage`` is off during
+            # the failure runner's discarded baseline probe; and the per-run memo keeps
+            # rescheduled/speculative attempts from double-counting a use.
+            if (block_id, datanode_id) not in adaptive.usage_touches:
+                adaptive.usage_touches.add((block_id, datanode_id))
+                namenode.touch_index_usage(block_id, datanode_id)
+        if predicate is not None and schema is not None:
+            if not plan.uses_index:
+                plan.fallback_reason = self._fallback_reason(
+                    block_id, predicate.attributes(schema)
+                )
+                self._mark_adaptive_build(plan, predicate, schema, adaptive)
+            else:
+                self._mark_secondary_build(plan, predicate, schema, adaptive)
         return plan
 
     def _fallback_reason(self, block_id: int, attributes: Sequence[str]) -> str:
-        """Why no index scan was possible: never indexed, or the indexed replica was lost.
+        """Why no index scan was possible: never indexed, lost to a failure, or evicted.
 
-        A block whose matching replica sits on a dead datanode reads very differently from a
-        block that was never indexed (the Figure 8 failover situation), so ``explain()`` names
-        the dead datanodes explicitly.
+        A block whose matching replica sits on a dead datanode (the Figure 8 failover
+        situation) reads very differently from one whose adaptive index was dropped by
+        disk-pressure eviction — and both differ from a block that was never indexed — so
+        ``explain()`` distinguishes all three and names the datanodes involved.
         """
         namenode = self.hdfs.namenode
         for attribute in attributes:
             all_hosts = namenode.hosts_with_index(block_id, attribute, alive_only=False)
             if not all_hosts:
+                evicted_from = namenode.index_eviction(block_id, attribute)
+                if evicted_from is not None:
+                    return (
+                        f"indexed replica of {attribute} evicted "
+                        f"(disk pressure on dn{evicted_from})"
+                    )
                 continue
             dead = [
                 host for host in all_hosts if not self.hdfs.cluster.node(host).is_alive
@@ -310,6 +333,34 @@ class PhysicalPlanner:
         if adaptive.offers(plan.block_id, attribute):
             plan.access_path = AccessPath.ADAPTIVE_INDEX_BUILD
             plan.build_attribute = attribute
+
+    def _mark_secondary_build(
+        self,
+        plan: BlockPlan,
+        predicate: Predicate,
+        schema: Schema,
+        adaptive: Optional[AdaptiveJobContext],
+    ) -> None:
+        """Offer a *piggyback* build on the next uncovered filter attribute (multi-attribute).
+
+        The block is already answered via an index on one of the query's filter attributes; a
+        conjunctive predicate may still carry attributes no replica is indexed on.  Under
+        ``adaptive_multi_attribute`` the scan's executor — which holds the block anyway —
+        builds the missing index as a by-product, so mixed-predicate workloads converge to
+        multi-index coverage instead of forever index-scanning on one attribute.  The plan's
+        access path stays an index scan; only ``build_attribute`` marks the piggyback work.
+        """
+        if adaptive is None or not adaptive.multi_attribute or plan.datanode_id < 0:
+            return
+        namenode = self.hdfs.namenode
+        for attribute in predicate.attributes(schema):
+            if attribute == plan.attribute:
+                continue
+            if namenode.hosts_with_index(plan.block_id, attribute, alive_only=True):
+                continue
+            if adaptive.offers(plan.block_id, attribute):
+                plan.build_attribute = attribute
+            return  # at most one piggyback build per block scan
 
     def _classify(
         self,

@@ -15,6 +15,8 @@ Overview (see DESIGN.md for the full per-experiment index):
 - :mod:`repro.experiments.failover`   — Figure 8
 - :mod:`repro.experiments.splitting`  — Figure 9 (HailSplitting enabled)
 - :mod:`repro.experiments.adaptive`   — LIAH-style adaptive-indexing convergence (extension)
+- :mod:`repro.experiments.adaptive_lifecycle` — lifecycle-managed adaptivity under disk
+  pressure: eviction + auto-tuned knobs through a workload shift (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
@@ -24,6 +26,7 @@ from repro.experiments.deployments import DatasetSpec, Deployment, build_deploym
 from repro.experiments import (
     ablations,
     adaptive,
+    adaptive_lifecycle,
     failover,
     queries,
     scaleout,
@@ -41,6 +44,7 @@ __all__ = [
     "build_deployment",
     "ablations",
     "adaptive",
+    "adaptive_lifecycle",
     "failover",
     "queries",
     "scaleout",

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.experiments import adaptive, failover, queries, scaleout, scaleup, splitting, upload
+from repro.experiments import (
+    adaptive,
+    adaptive_lifecycle,
+    failover,
+    queries,
+    scaleout,
+    scaleup,
+    splitting,
+    upload,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureResult
 
@@ -45,6 +54,7 @@ def run_all(
     run("fig7", lambda: queries.fig7(config))
     run("fig8", lambda: failover.fig8(config))
     run("adaptive", lambda: adaptive.adaptive_convergence(config))
+    run("adaptive_lifecycle", lambda: adaptive_lifecycle.adaptive_lifecycle_curve(config))
 
     if progress is not None:
         progress("fig9")

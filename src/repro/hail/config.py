@@ -11,6 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.cluster.disk import (
+    DEFAULT_HIGH_WATERMARK,
+    DEFAULT_LOW_WATERMARK,
+    DiskPressurePolicy,
+)
+
 
 @dataclass(frozen=True)
 class HailConfig:
@@ -54,6 +60,33 @@ class HailConfig:
     adaptive_budget_per_job:
         Hard cap on the number of adaptive builds one job may perform (``None`` = unlimited);
         bounds the indexing penalty any single query can be charged.
+    adaptive_eviction:
+        Enable disk-pressure eviction of adaptive replicas (the lifecycle manager): nodes whose
+        *adaptive* replica footprint exceeds
+        ``adaptive_disk_high_watermark * adaptive_disk_capacity_bytes`` drop their
+        least-recently-used adaptive replicas until back under the low watermark.  Upload-time
+        indexes are never evicted.
+    adaptive_disk_capacity_bytes:
+        Per-node byte budget for adaptive replicas — the disk the opportunistic (adaptively
+        built) copies may occupy on each node before eviction kicks in.  ``None`` leaves
+        pressure undefined, so nothing is ever evicted even with ``adaptive_eviction`` on.
+    adaptive_disk_high_watermark / adaptive_disk_low_watermark:
+        Pressure trigger and drain target as fractions of the capacity ceiling
+        (hysteresis: the gap keeps the evictor from firing on every job).
+    adaptive_auto_tune:
+        Replace the static ``adaptive_offer_rate`` / ``adaptive_budget_per_job`` knobs with the
+        feedback controller (:class:`~repro.engine.lifecycle.AdaptiveTuner`): the offer rate
+        rises while measured scan savings exceed build cost and decays to zero on
+        index-hostile workloads; the budget is sized so per-job build overhead stays below
+        ``adaptive_overhead_fraction`` of the job's useful work.  The static knobs become the
+        controller's starting point.
+    adaptive_overhead_fraction:
+        Auto-tuned budget target: the fraction of a job's RecordReader time the tuner allows
+        adaptive builds to add.
+    adaptive_multi_attribute:
+        Multi-attribute convergence: when a block is already answered via an index on one of
+        the query's filter attributes, offer a piggyback build on the next *uncovered* filter
+        attribute, so workloads with mixed predicates converge to multi-index coverage.
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -66,6 +99,13 @@ class HailConfig:
     adaptive_indexing: bool = False
     adaptive_offer_rate: float = 1.0
     adaptive_budget_per_job: Optional[int] = None
+    adaptive_eviction: bool = False
+    adaptive_disk_capacity_bytes: Optional[float] = None
+    adaptive_disk_high_watermark: float = DEFAULT_HIGH_WATERMARK
+    adaptive_disk_low_watermark: float = DEFAULT_LOW_WATERMARK
+    adaptive_auto_tune: bool = False
+    adaptive_overhead_fraction: float = 0.25
+    adaptive_multi_attribute: bool = False
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -83,6 +123,15 @@ class HailConfig:
             raise ValueError("adaptive_offer_rate must lie in [0, 1]")
         if self.adaptive_budget_per_job is not None and self.adaptive_budget_per_job < 0:
             raise ValueError("adaptive_budget_per_job must be non-negative")
+        # Capacity/watermark validation lives in DiskPressurePolicy (the class that enforces
+        # them at eviction time); constructing a throwaway policy keeps the rule in one place.
+        DiskPressurePolicy(
+            capacity_bytes=self.adaptive_disk_capacity_bytes,
+            high_watermark=self.adaptive_disk_high_watermark,
+            low_watermark=self.adaptive_disk_low_watermark,
+        )
+        if not 0.0 < self.adaptive_overhead_fraction <= 1.0:
+            raise ValueError("adaptive_overhead_fraction must lie in (0, 1]")
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -131,6 +180,38 @@ class HailConfig:
             overrides["adaptive_offer_rate"] = offer_rate
         if budget_per_job is not None:
             overrides["adaptive_budget_per_job"] = budget_per_job
+        return replace(self, **overrides)
+
+    def with_lifecycle(
+        self,
+        eviction: Optional[bool] = None,
+        capacity_bytes: Optional[float] = None,
+        high_watermark: Optional[float] = None,
+        low_watermark: Optional[float] = None,
+        auto_tune: Optional[bool] = None,
+        overhead_fraction: Optional[float] = None,
+        multi_attribute: Optional[bool] = None,
+    ) -> "HailConfig":
+        """Copy of this configuration with adaptive-lifecycle knobs toggled/tuned.
+
+        Only the arguments given are changed; ``adaptive_indexing`` itself is left untouched
+        (combine with :meth:`with_adaptive` to switch the whole subsystem on).
+        """
+        overrides: dict = {}
+        if eviction is not None:
+            overrides["adaptive_eviction"] = eviction
+        if capacity_bytes is not None:
+            overrides["adaptive_disk_capacity_bytes"] = capacity_bytes
+        if high_watermark is not None:
+            overrides["adaptive_disk_high_watermark"] = high_watermark
+        if low_watermark is not None:
+            overrides["adaptive_disk_low_watermark"] = low_watermark
+        if auto_tune is not None:
+            overrides["adaptive_auto_tune"] = auto_tune
+        if overhead_fraction is not None:
+            overrides["adaptive_overhead_fraction"] = overhead_fraction
+        if multi_attribute is not None:
+            overrides["adaptive_multi_attribute"] = multi_attribute
         return replace(self, **overrides)
 
     def with_replication(self, replication: int) -> "HailConfig":

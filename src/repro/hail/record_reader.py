@@ -53,6 +53,10 @@ class HailRecordReader(RecordReader):
         #: Number of blocks answered by index scan vs. full scan (for reports/tests).
         self.index_scans = 0
         self.full_scans = 0
+        #: Lifecycle-tuner telemetry: blocks answered via a previously built adaptive index,
+        #: and the measured scan savings those uses realised (executor counterfactuals).
+        self.adaptive_index_uses = 0
+        self.adaptive_saved_seconds = 0.0
 
     # ------------------------------------------------------------------ iteration
     def __iter__(self) -> Iterator[tuple]:
@@ -70,6 +74,9 @@ class HailRecordReader(RecordReader):
             self.bytes_read += scan.bytes_read
             if scan.pending_build is not None:
                 self.adaptive_builds.append(scan.pending_build)
+            if scan.used_adaptive_index:
+                self.adaptive_index_uses += 1
+                self.adaptive_saved_seconds += scan.saved_seconds
             if scan.used_index:
                 self.index_scans += 1
                 self.used_index = True

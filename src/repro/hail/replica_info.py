@@ -29,9 +29,15 @@ class HailBlockReplicaInfo:
     #: the block payload.
     pax_layout: bool = True
     #: ``"upload"`` for replicas indexed by the HAIL upload pipeline, ``"adaptive"`` for
-    #: replicas whose index was built lazily as a by-product of query execution (LIAH);
-    #: eviction/budget policies and the failure tests key on this.
+    #: replicas whose index was built lazily as a by-product of query execution (LIAH),
+    #: ``"evicted"`` for replicas whose adaptive index was reclaimed by disk-pressure
+    #: eviction (a plain replica again); eviction/budget policies and the failure tests key
+    #: on this.
     origin: str = "upload"
+    #: True when this adaptive replica physically *displaced* a plain (unindexed) replica at
+    #: commit time.  Eviction then downgrades it back to a plain replica instead of deleting
+    #: it, so the block's replication factor survives arbitrarily many build/evict cycles.
+    displaced_plain_replica: bool = False
 
     @property
     def has_index(self) -> bool:
@@ -42,6 +48,18 @@ class HailBlockReplicaInfo:
     def is_adaptive(self) -> bool:
         """True when this replica was created by adaptive (lazy) indexing."""
         return self.origin == "adaptive"
+
+    @property
+    def size_on_disk_bytes(self) -> int:
+        """Bytes this replica occupies on its datanode, including its checksum file.
+
+        This is the amount evicting the replica frees — the adaptive-index lifecycle manager
+        uses it to decide how many LRU candidates it must drop to satisfy a
+        :class:`~repro.cluster.disk.DiskPressurePolicy`.
+        """
+        from repro.hdfs.checksum import checksum_file_size
+
+        return self.block_size_bytes + checksum_file_size(self.block_size_bytes)
 
     def covers(self, attribute: str) -> bool:
         """True when this replica's clustered index is on ``attribute``."""

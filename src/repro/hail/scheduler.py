@@ -29,6 +29,7 @@ __all__ = [
     "index_coverage",
     "replica_distribution",
     "adaptive_replica_count",
+    "adaptive_replica_bytes",
     "check_dir_rep_consistency",
 ]
 
@@ -68,6 +69,22 @@ def adaptive_replica_count(namenode: NameNode, path: str) -> int:
             if info is not None and info.is_adaptive:
                 count += 1
     return count
+
+
+def adaptive_replica_bytes(namenode: NameNode, path: str) -> int:
+    """Total on-disk bytes (data + checksum files) of ``path``'s adaptive replicas.
+
+    This is the quantity the disk-pressure eviction policy bounds: with eviction enabled the
+    sum stays below whatever the per-node capacity ceilings leave for adaptive replicas, while
+    upload-time replicas are never counted (they are never evicted).
+    """
+    total = 0
+    for block_id in namenode.file_blocks(path):
+        for datanode_id in namenode.block_datanodes(block_id, alive_only=False):
+            info = namenode.replica_info(block_id, datanode_id)
+            if info is not None and info.is_adaptive:
+                total += info.size_on_disk_bytes
+    return total
 
 
 def check_dir_rep_consistency(hdfs: Hdfs, path: str) -> list[str]:

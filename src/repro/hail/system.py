@@ -7,10 +7,12 @@ from typing import Optional, Sequence
 from repro.cluster.costmodel import CostModel, CostParameters
 from repro.cluster.topology import Cluster
 from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext
+from repro.engine.lifecycle import LIFECYCLE_PROPERTY, AdaptiveLifecycleManager
 from repro.hail.annotation import JOB_PROPERTY, HailQuery
 from repro.hail.config import HailConfig
 from repro.hail.input_format import HailInputFormat
 from repro.hail.scheduler import (
+    adaptive_replica_bytes,
     adaptive_replica_count,
     index_coverage,
     replica_distribution,
@@ -56,6 +58,12 @@ class HailSystem(BaseSystem):
         #: Monotone per-job salt for adaptive indexing offers: repeating the same query gives
         #: each run a fresh set of offered blocks, so low offer rates still converge.
         self._adaptive_salt = 0
+        #: The adaptive-index lifecycle manager (eviction + knob auto-tuning); ``None`` unless
+        #: the config enables at least one lifecycle feature, so plain deployments carry no
+        #: lifecycle machinery at all.
+        self.lifecycle: Optional[AdaptiveLifecycleManager] = (
+            AdaptiveLifecycleManager.from_config(config)
+        )
 
     # ------------------------------------------------------------------ upload
     def _upload_pipeline(self) -> HailUploadPipeline:
@@ -84,9 +92,16 @@ class HailSystem(BaseSystem):
         )
         jobconf.properties[JOB_PROPERTY] = annotation
         if self.config.adaptive_indexing:
-            jobconf.properties[ADAPTIVE_PROPERTY] = AdaptiveJobContext.from_config(
-                self.config, salt=self._adaptive_salt
-            )
+            context = AdaptiveJobContext.from_config(self.config, salt=self._adaptive_salt)
+            if self.lifecycle is not None:
+                if self.lifecycle.auto_tunes:
+                    # The feedback controller's current knobs replace the static config values,
+                    # and the executor measures counterfactual scan savings to feed its ledger.
+                    context.offer_rate = self.lifecycle.offer_rate
+                    context.budget = self.lifecycle.budget
+                    context.measure_savings = True
+                jobconf.properties[LIFECYCLE_PROPERTY] = self.lifecycle
+            jobconf.properties[ADAPTIVE_PROPERTY] = context
             self._adaptive_salt += 1
         return jobconf
 
@@ -102,3 +117,7 @@ class HailSystem(BaseSystem):
     def adaptive_replica_count(self, path: str) -> int:
         """Number of replicas whose index was built adaptively (lazily) for ``path``."""
         return adaptive_replica_count(self.hdfs.namenode, path)
+
+    def adaptive_replica_bytes(self, path: str) -> int:
+        """Total on-disk bytes of ``path``'s adaptive replicas (the eviction ceiling's target)."""
+        return adaptive_replica_bytes(self.hdfs.namenode, path)

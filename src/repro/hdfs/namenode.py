@@ -38,6 +38,18 @@ class NameNode:
         self._blocks: Dict[int, LogicalBlock] = {}
         #: Dir_rep: (block id, datanode id) -> HAILBlockReplicaInfo (opaque to stock HDFS)
         self._dir_rep: Dict[tuple[int, int], Any] = {}
+        #: Index-usage statistics: (block id, datanode id) -> [use count, last-used tick].
+        #: The physical planner touches an entry whenever it plans an index scan over that
+        #: replica; the adaptive-index lifecycle manager orders eviction candidates by these
+        #: statistics (least-recently-used first).
+        self._index_usage: Dict[tuple[int, int], list[int]] = {}
+        #: Logical clock driving the last-used ticks (one tick per planned index use).
+        self._usage_tick = 0
+        #: Eviction tombstones: (block id, indexed attribute) -> datanode the adaptive replica
+        #: was evicted from.  Lets the planner report "evicted (disk pressure on dnN)" instead
+        #: of "no replica indexed"; cleared as soon as a replica indexed on that attribute is
+        #: registered again (the adaptive rebuild).
+        self._evictions: Dict[tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------ namespace
     def create_file(self, path: str) -> None:
@@ -64,6 +76,9 @@ class NameNode:
             self._blocks.pop(block_id, None)
             for datanode_id in datanodes:
                 self._dir_rep.pop((block_id, datanode_id), None)
+                self._index_usage.pop((block_id, datanode_id), None)
+            for key in [key for key in self._evictions if key[0] == block_id]:
+                self._evictions.pop(key, None)
         return block_ids
 
     def file_blocks(self, path: str) -> list[int]:
@@ -114,6 +129,11 @@ class NameNode:
             datanodes.append(datanode_id)
         if replica_info is not None:
             self._dir_rep[(block_id, datanode_id)] = replica_info
+            indexed_attribute = getattr(replica_info, "indexed_attribute", None)
+            if indexed_attribute is not None:
+                # A fresh index on this attribute supersedes any eviction tombstone: the
+                # planner should stop reporting the block's index as evicted.
+                self._evictions.pop((block_id, indexed_attribute), None)
 
     def unregister_replica(self, block_id: int, datanode_id: int) -> None:
         """Remove one replica from ``Dir_block``/``Dir_rep`` (lost-replica reconciliation).
@@ -126,6 +146,7 @@ class NameNode:
         if datanodes is not None and datanode_id in datanodes:
             datanodes.remove(datanode_id)
         self._dir_rep.pop((block_id, datanode_id), None)
+        self._index_usage.pop((block_id, datanode_id), None)
 
     # ------------------------------------------------------------------ lookups
     def logical_block(self, block_id: int) -> LogicalBlock:
@@ -195,6 +216,66 @@ class NameNode:
             if info is not None and getattr(info, "indexed_attribute", None) == attribute:
                 hosts.append(datanode_id)
         return hosts
+
+    # ------------------------------------------------------------------ index usage & evictions
+    def touch_index_usage(self, block_id: int, datanode_id: int) -> None:
+        """Record that the planner chose this replica's index for a block plan.
+
+        Called by :class:`~repro.engine.planner.PhysicalPlanner` whenever a plan answers a
+        block via the replica's clustered index.  The per-replica use count and last-used tick
+        are what the adaptive-index lifecycle manager orders eviction candidates by (LRU).
+        """
+        self._usage_tick += 1
+        entry = self._index_usage.setdefault((block_id, datanode_id), [0, 0])
+        entry[0] += 1
+        entry[1] = self._usage_tick
+
+    def index_usage(self, block_id: int, datanode_id: int) -> tuple[int, int]:
+        """``(use count, last-used tick)`` of one replica's index; ``(0, 0)`` if never used."""
+        entry = self._index_usage.get((block_id, datanode_id))
+        if entry is None:
+            return (0, 0)
+        return (entry[0], entry[1])
+
+    def reset_index_usage(self, block_id: int, datanode_id: int) -> None:
+        """Forget one replica's usage statistics (its index was reclaimed).
+
+        ``unregister_replica`` clears the statistics when a replica is deleted outright; the
+        downgrade path of eviction keeps the replica registered (as a plain copy) and calls
+        this instead, so a later rebuild on the same node starts its LRU life from scratch.
+        """
+        self._index_usage.pop((block_id, datanode_id), None)
+
+    def adaptive_bytes_by_node(self) -> Dict[int, int]:
+        """On-disk bytes of the *adaptive* replicas per datanode, in one ``Dir_rep`` pass.
+
+        This is the per-node metric the disk-pressure eviction policy bounds: the footprint of
+        the opportunistic (adaptively built) replicas, measured from ``Dir_rep`` — upload-time
+        replicas are primary data and never count against the adaptive budget.  Datanodes
+        without adaptive replicas are absent from the mapping.
+        """
+        totals: Dict[int, int] = {}
+        for (_block_id, owner), info in self._dir_rep.items():
+            if getattr(info, "is_adaptive", False):
+                totals[owner] = totals.get(owner, 0) + info.size_on_disk_bytes
+        return totals
+
+    def adaptive_bytes_on(self, datanode_id: int) -> int:
+        """On-disk bytes of the adaptive replicas on one datanode (see :meth:`adaptive_bytes_by_node`)."""
+        return self.adaptive_bytes_by_node().get(datanode_id, 0)
+
+    def record_index_eviction(self, block_id: int, attribute: str, datanode_id: int) -> None:
+        """Remember that the adaptive index of ``(block, attribute)`` was evicted from a node.
+
+        The tombstone only feeds the planner's fallback-reason wording ("evicted (disk
+        pressure on dnN)" rather than "no replica indexed"); it is cleared when a replica
+        indexed on ``attribute`` is registered again.
+        """
+        self._evictions[(block_id, attribute)] = datanode_id
+
+    def index_eviction(self, block_id: int, attribute: str) -> Optional[int]:
+        """Datanode an adaptive index of ``(block, attribute)`` was evicted from, or ``None``."""
+        return self._evictions.get((block_id, attribute))
 
     # ------------------------------------------------------------------ reporting
     def describe(self) -> dict:

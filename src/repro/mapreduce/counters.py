@@ -22,6 +22,18 @@ class Counters:
     FULL_SCANS = "FULL_SCANS"
     ADAPTIVE_INDEX_BUILDS = "ADAPTIVE_INDEX_BUILDS"
     ADAPTIVE_INDEXES_COMMITTED = "ADAPTIVE_INDEXES_COMMITTED"
+    #: Simulated seconds the job's committed adaptive builds charged (the tuner's cost side).
+    ADAPTIVE_BUILD_SECONDS = "ADAPTIVE_BUILD_SECONDS"
+    #: Blocks answered via a previously built adaptive index.
+    ADAPTIVE_INDEX_USES = "ADAPTIVE_INDEX_USES"
+    #: Measured scan savings of those uses (counterfactual scan cost minus index-scan cost).
+    ADAPTIVE_SAVED_SECONDS = "ADAPTIVE_SAVED_SECONDS"
+    #: Blocks answered without any index (the pool adaptive builds could convert).
+    SCAN_FALLBACK_BLOCKS = "SCAN_FALLBACK_BLOCKS"
+    ADAPTIVE_INDEXES_EVICTED = "ADAPTIVE_INDEXES_EVICTED"
+    #: Bytes that left the per-node adaptive byte budgets (budget accounting — downgraded
+    #: replicas keep their plain copy on disk, so physical reclamation can be smaller).
+    ADAPTIVE_BYTES_EVICTED = "ADAPTIVE_BYTES_EVICTED"
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = defaultdict(float)

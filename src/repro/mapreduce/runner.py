@@ -68,6 +68,7 @@ class MapReduceRunner:
         commit_adaptive: bool = True,
     ) -> JobResult:
         counters = Counters()
+        self._set_usage_recording(jobconf, record=commit_adaptive)
         plan = self.job_client.compute_splits(jobconf)
         tasks = [MapTask(task_id=i, split=split, jobconf=jobconf) for i, split in enumerate(plan.splits)]
 
@@ -85,6 +86,18 @@ class MapReduceRunner:
         output = reduce_result.output if jobconf.reducer is not None else map_output
 
         rr_times = [attempt.result.record_reader_s for attempt in outcome.scheduled]
+        if commit_adaptive:
+            # "Useful work" for the budget tuner: the surviving attempts' RecordReader time
+            # minus every build those same attempts staged (not just the committed subset —
+            # builds dropped at commit time still spent their seconds inside rr_times).
+            staged_build_s = sum(
+                build.build_seconds
+                for attempt in outcome.scheduled
+                for build in getattr(attempt.result, "adaptive_builds", ())
+            )
+            self._run_adaptive_lifecycle(
+                jobconf, counters, max(0.0, sum(rr_times) - staged_build_s)
+            )
         avg_rr = sum(rr_times) / len(rr_times) if rr_times else 0.0
         max_rr = max(rr_times) if rr_times else 0.0
         num_slots = max(1, outcome.num_slots)
@@ -135,3 +148,36 @@ class MapReduceRunner:
         report = commit_adaptive_builds(self.hdfs, outcome.scheduled)
         if report.num_committed:
             counters.increment(Counters.ADAPTIVE_INDEXES_COMMITTED, report.num_committed)
+            counters.increment(Counters.ADAPTIVE_BUILD_SECONDS, report.total_build_seconds)
+
+    @staticmethod
+    def _set_usage_recording(jobconf: JobConf, record: bool) -> None:
+        """Silence the planner's index-usage bookkeeping for the baseline probe.
+
+        The failure runner's undisturbed probe must not publish side effects; its plans would
+        otherwise touch the namenode's LRU statistics a second time per use (and for replicas
+        the measured run, with the node dead, never opens), skewing the eviction order.
+        """
+        from repro.engine.adaptive import ADAPTIVE_PROPERTY
+
+        context = jobconf.properties.get(ADAPTIVE_PROPERTY)
+        if context is not None:
+            context.record_usage = record
+
+    def _run_adaptive_lifecycle(self, jobconf: JobConf, counters: Counters, total_rr_s: float) -> None:
+        """Post-job lifecycle pass: feed the knob tuner, evict under disk pressure.
+
+        Runs only for measured runs (never for the failure runner's baseline probe, which must
+        not publish side effects) and only when the deployment installed an
+        ``AdaptiveLifecycleManager`` into the job's properties — stock jobs skip this entirely.
+        """
+        from repro.engine.lifecycle import LIFECYCLE_PROPERTY, JobObservation
+
+        manager = jobconf.properties.get(LIFECYCLE_PROPERTY)
+        if manager is None:
+            return
+        observation = JobObservation.from_counters(counters, total_rr_s)
+        report = manager.after_job(self.hdfs, observation)
+        if report.num_evicted:
+            counters.increment(Counters.ADAPTIVE_INDEXES_EVICTED, report.num_evicted)
+            counters.increment(Counters.ADAPTIVE_BYTES_EVICTED, report.freed_bytes)

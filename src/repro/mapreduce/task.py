@@ -64,6 +64,16 @@ class MapTask:
         adaptive_builds = list(getattr(reader, "adaptive_builds", ()))
         if adaptive_builds:
             counters.increment(Counters.ADAPTIVE_INDEX_BUILDS, len(adaptive_builds))
+        # Lifecycle-tuner telemetry (readers without adaptive support contribute zeros).
+        adaptive_uses = getattr(reader, "adaptive_index_uses", 0)
+        if adaptive_uses:
+            counters.increment(Counters.ADAPTIVE_INDEX_USES, adaptive_uses)
+            counters.increment(
+                Counters.ADAPTIVE_SAVED_SECONDS, getattr(reader, "adaptive_saved_seconds", 0.0)
+            )
+        fallback_blocks = getattr(reader, "full_scans", 0)
+        if fallback_blocks:
+            counters.increment(Counters.SCAN_FALLBACK_BLOCKS, fallback_blocks)
         # The map function body itself (emitting projected values) is a tiny constant per record.
         map_function_s = 2.0e-8 * reader.records_emitted * cost.params.data_scale
         return MapTaskResult(

@@ -1,0 +1,73 @@
+"""The documentation lint gate: docstring floor on the engine, link-checked docs/README."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _lint_docs():
+    spec = importlib.util.spec_from_file_location(
+        "lint_docs", REPO_ROOT / "tools" / "lint_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("lint_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+lint_docs = _lint_docs()
+
+
+def test_repository_passes_the_doc_lint():
+    assert lint_docs.run(REPO_ROOT) == []
+
+
+def test_engine_docstring_coverage_meets_the_floor():
+    documented, total, missing = lint_docs.docstring_coverage(
+        REPO_ROOT / "src" / "repro" / "engine"
+    )
+    assert total > 0
+    assert documented / total >= lint_docs.DOCSTRING_FLOORS["src/repro/engine"], missing
+
+
+def test_docstring_checker_flags_undocumented_definitions(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "mod.py").write_text(
+        '"""Documented module."""\n\n\ndef documented():\n    """Yes."""\n\n\ndef naked():\n    pass\n'
+    )
+    documented, total, missing = lint_docs.docstring_coverage(tree)
+    assert (documented, total) == (2, 3)
+    assert len(missing) == 1 and missing[0].endswith("naked")
+    problems = lint_docs.check_docstrings(tmp_path, {"pkg": 1.0})
+    assert problems and "below the 100% floor" in problems[0]
+
+
+def test_docstring_checker_reports_missing_tree(tmp_path):
+    assert lint_docs.check_docstrings(tmp_path, {"nope": 0.5}) == [
+        "nope: checked tree does not exist"
+    ]
+
+
+def test_link_checker_flags_broken_relative_links(tmp_path):
+    good = tmp_path / "target.md"
+    good.write_text("# target\n")
+    document = tmp_path / "doc.md"
+    document.write_text(
+        "[ok](target.md) [anchor](#section) [ext](https://example.com/x) [bad](missing.md)\n"
+    )
+    problems = lint_docs.broken_links(document)
+    assert len(problems) == 1 and "missing.md" in problems[0]
+
+
+def test_link_checker_resolves_links_relative_to_the_document(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("readme\n")
+    document = tmp_path / "docs" / "guide.md"
+    document.write_text("[up](../README.md#section)\n")
+    assert lint_docs.broken_links(document) == []
+    assert lint_docs.check_links(tmp_path, ("README.md", "docs")) == []

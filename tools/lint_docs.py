@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Documentation lint: a docstring-coverage floor plus a markdown link checker.
+
+Runs in CI (and as ``tests/test_docs_lint.py``) with no third-party dependencies, so the
+operator documentation cannot rot silently:
+
+- **docstring floor** — every module, class and public function under the checked source
+  trees must carry a docstring; the floor is a ratchet (interrogate-style) so incidental
+  regressions fail fast while generated/private helpers stay exempt;
+- **link check** — every relative markdown link in the checked documents must point at an
+  existing file or directory (external ``http(s)``/``mailto`` targets and pure in-page
+  anchors are skipped — CI must not depend on network access).
+
+Usage::
+
+    python tools/lint_docs.py            # lint the repository with the default settings
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: Source trees whose docstring coverage is enforced, with their floors (documented/total).
+DOCSTRING_FLOORS: dict[str, float] = {
+    "src/repro/engine": 0.95,
+}
+
+#: Markdown documents whose relative links are checked.
+LINKED_DOCUMENTS: tuple[str, ...] = ("README.md", "docs")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+# --------------------------------------------------------------------------- docstring floor
+def docstring_coverage(root: Path) -> tuple[int, int, list[str]]:
+    """``(documented, total, missing)`` over all modules/classes/public functions under ``root``.
+
+    A definition counts as public when its name does not start with ``_``; nested private
+    helpers and dunder methods are exempt, mirroring how interrogate's default config counts.
+    """
+    documented = 0
+    total = 0
+    missing: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node, label in _documentable_nodes(tree, path):
+            total += 1
+            if ast.get_docstring(node) is not None:
+                documented += 1
+            else:
+                missing.append(label)
+    return documented, total, missing
+
+
+def _documentable_nodes(tree: ast.Module, path: Path):
+    yield tree, f"{path}:module"
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node, f"{path}:{node.lineno}:{node.name}"
+
+
+def check_docstrings(repo_root: Path, floors: dict[str, float]) -> list[str]:
+    """Problems (empty when every checked tree meets its floor)."""
+    problems: list[str] = []
+    for relative, floor in floors.items():
+        root = repo_root / relative
+        if not root.exists():
+            problems.append(f"{relative}: checked tree does not exist")
+            continue
+        documented, total, missing = docstring_coverage(root)
+        coverage = documented / total if total else 1.0
+        if coverage < floor:
+            preview = ", ".join(missing[:5])
+            problems.append(
+                f"{relative}: docstring coverage {coverage:.1%} is below the {floor:.0%} "
+                f"floor ({documented}/{total} documented; missing e.g. {preview})"
+            )
+    return problems
+
+
+# --------------------------------------------------------------------------- link check
+def markdown_files(repo_root: Path, documents: tuple[str, ...] = LINKED_DOCUMENTS) -> list[Path]:
+    """The markdown files the link checker covers."""
+    files: list[Path] = []
+    for relative in documents:
+        target = repo_root / relative
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.md")))
+        elif target.exists():
+            files.append(target)
+    return files
+
+
+def broken_links(markdown_file: Path) -> list[str]:
+    """Relative links in ``markdown_file`` whose targets do not exist."""
+    problems: list[str] = []
+    text = markdown_file.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{markdown_file}: broken link -> {target}")
+    return problems
+
+
+def check_links(repo_root: Path, documents: tuple[str, ...] = LINKED_DOCUMENTS) -> list[str]:
+    """Broken relative links across all checked documents (empty when clean)."""
+    problems: list[str] = []
+    for markdown_file in markdown_files(repo_root, documents):
+        problems.extend(broken_links(markdown_file))
+    return problems
+
+
+# --------------------------------------------------------------------------- entry point
+def run(repo_root: Path) -> list[str]:
+    """All lint problems for the repository (empty when clean)."""
+    return check_docstrings(repo_root, DOCSTRING_FLOORS) + check_links(repo_root)
+
+
+def main() -> int:
+    """Lint the repository this file lives in; 0 on success, 1 with a report otherwise."""
+    repo_root = Path(__file__).resolve().parent.parent
+    problems = run(repo_root)
+    if problems:
+        for problem in problems:
+            print(f"lint_docs: {problem}", file=sys.stderr)
+        return 1
+    floors = ", ".join(f"{tree} >= {floor:.0%}" for tree, floor in DOCSTRING_FLOORS.items())
+    print(f"lint_docs: ok (docstring floors: {floors}; links checked in "
+          f"{len(markdown_files(repo_root))} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
