@@ -13,24 +13,54 @@ The package is organised as a stack of subsystems, mirroring the paper:
 - :mod:`repro.datagen`    -- UserVisits and Synthetic dataset generators.
 - :mod:`repro.workloads`  -- Bob's query workload and the Synthetic query workload.
 - :mod:`repro.design`     -- per-replica index selection (physical design advisor).
+- :mod:`repro.api`        -- the declarative client layer: :class:`Session`, lazy
+  :class:`Dataset`, the typed expression DSL (``col``), and batched workload execution.
 - :mod:`repro.experiments` -- harnesses regenerating every table and figure of the paper.
+
+The names re-exported here are the supported top-level surface; ``tools/lint_api.py`` pins
+them (and ``repro.api``'s) against a checked-in manifest so accidental breaking changes fail
+CI.
 
 Quickstart
 ----------
 
->>> from repro.hail import HailSystem
->>> from repro.cluster import Cluster, HardwareProfile
+>>> from datetime import date
+>>> from repro import Session, col
 >>> from repro.datagen import UserVisitsGenerator
->>> from repro.workloads import bob_queries
->>> cluster = Cluster.homogeneous(4, HardwareProfile.physical())
->>> hail = HailSystem(cluster, index_attributes=["visitDate", "sourceIP", "adRevenue"])
->>> rows = UserVisitsGenerator(seed=7).generate(2000)
->>> report = hail.upload("/logs/uservisits", rows)
->>> result = hail.run_query(bob_queries()[0], "/logs/uservisits")
+>>> session = Session.deploy(nodes=4, index_attributes=["visitDate", "sourceIP", "adRevenue"])
+>>> generator = UserVisitsGenerator(seed=7)
+>>> visits = session.upload("/logs/uservisits", generator.generate(2000), generator.schema)
+>>> result = (
+...     visits.where(col("visitDate").between(date(1999, 1, 1), date(2000, 1, 1)))
+...     .select("sourceIP")
+...     .collect()
+... )
 >>> len(result.records) > 0
 True
 """
 
 from repro._version import __version__
+from repro.api import (
+    BatchResult,
+    Dataset,
+    LogicalQuery,
+    QueryHandle,
+    Session,
+    SessionStats,
+    UnsupportedExpressionError,
+    col,
+)
+from repro.workloads.query import Query
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "BatchResult",
+    "Dataset",
+    "LogicalQuery",
+    "Query",
+    "QueryHandle",
+    "Session",
+    "SessionStats",
+    "UnsupportedExpressionError",
+    "col",
+]

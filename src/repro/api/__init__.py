@@ -1,0 +1,50 @@
+"""The declarative client API: sessions, lazy datasets, and a typed expression DSL.
+
+This package is the surface users program against; the rest of the repository — systems,
+engine, MapReduce substrate — is the machinery it compiles to.  The paper's promise is that
+users keep writing plain jobs while the system transparently picks indexed replicas; this
+layer extends the promise to query *construction*: nobody should hand-assemble
+:class:`~repro.hail.predicate.Predicate` clauses or hand-order conjunctions to please the
+planner.
+
+- :mod:`repro.api.expressions` — the typed expression DSL: ``col("visitDate").between(a, b)``,
+  comparison operators, ``&``/``|``/``~`` composition, and direct row evaluation (the
+  reference semantics the compiler is tested against);
+- :mod:`repro.api.logical` — the :class:`LogicalQuery` IR and the normalizer that compiles
+  expression trees into the engine's :class:`~repro.workloads.query.Query` (flattening
+  conjunctions, merging per-attribute ranges, ordering clauses by estimated selectivity);
+- :mod:`repro.api.session` — :class:`Session` (owns cluster + systems + cost model),
+  :class:`Dataset` (lazy ``where``/``select`` builder with ``collect``/``explain``/``submit``),
+  batched workload execution (:meth:`Session.run_batch`) and per-session adaptive statistics
+  (:meth:`Session.stats`).
+
+The compiled :class:`~repro.workloads.query.Query` and ``system.run_query(query, path)``
+remain the stable low-level form — everything this package produces can be inspected as, and
+mixed with, hand-built queries.
+"""
+
+from repro.api.expressions import (
+    ColumnExpr,
+    ComparisonExpr,
+    Expr,
+    UnsupportedExpressionError,
+    col,
+)
+from repro.api.logical import LogicalQuery, estimated_selectivity_rank, normalize
+from repro.api.session import BatchResult, Dataset, QueryHandle, Session, SessionStats
+
+__all__ = [
+    "BatchResult",
+    "ColumnExpr",
+    "ComparisonExpr",
+    "Dataset",
+    "Expr",
+    "LogicalQuery",
+    "QueryHandle",
+    "Session",
+    "SessionStats",
+    "UnsupportedExpressionError",
+    "col",
+    "estimated_selectivity_rank",
+    "normalize",
+]

@@ -1,0 +1,557 @@
+"""Sessions, lazy datasets, deferred queries, and batched workload execution.
+
+A :class:`Session` owns a deployment — one or more systems (HAIL, Hadoop++, stock Hadoop),
+each with its simulated cluster and cost model — and is the stateful client context the
+adaptive subsystem was built for: adaptive indexing, the lifecycle manager and the auto-tuner
+all learn *across* queries, which a one-shot ``system.run_query`` call pattern cannot
+express.  The session therefore:
+
+- routes every query through the owning system's single :class:`~repro.mapreduce.runner.MapReduceRunner`,
+  so one session's workload shares one adaptive state (staged builds, LRU statistics, tuner
+  ledger) from the first query to the last;
+- accumulates the per-job ``ADAPTIVE_*`` MapReduce counters into per-system session totals,
+  surfaced by :meth:`Session.stats` together with adaptive replica counts/bytes and the live
+  tuner state; and
+- executes whole workloads in one call (:meth:`Session.run_batch`), which is how adaptive
+  convergence is meant to be driven: on an indexable workload with the knobs on, the last
+  query of a batch runs on blocks the first queries paid forward.
+
+:class:`Dataset` is the lazy builder bound to an uploaded path: ``where(...)`` conjoins DSL
+expressions, ``select(...)`` sets the projection, and ``collect()`` / ``explain()`` /
+``submit()`` compile to the stable :class:`~repro.workloads.query.Query` form and hand it to
+the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from repro.api.expressions import ColumnExpr, Expr, UnsupportedExpressionError
+from repro.api.logical import LogicalQuery
+from repro.baselines import HadoopPlusPlusSystem, HadoopSystem
+from repro.cluster.costmodel import CostModel, CostParameters
+from repro.cluster.failure import FailureEvent
+from repro.cluster.hardware import HardwareProfile
+from repro.cluster.topology import Cluster
+from repro.hail import HailConfig, HailSystem
+from repro.layouts.schema import Schema
+from repro.mapreduce.counters import Counters
+from repro.systems.base import BaseSystem, QueryResult, SystemUploadReport
+from repro.workloads.query import Query
+
+#: Anything the session can execute: a lazy dataset, the IR, or the compiled form.
+Runnable = Union["Dataset", "QueryHandle", LogicalQuery, Query]
+
+
+# --------------------------------------------------------------------------- lazy datasets
+@dataclass(frozen=True)
+class Dataset:
+    """A lazy query builder over one uploaded path.
+
+    Datasets are immutable: every ``where``/``select``/``named`` call returns a new one, so
+    partial queries can be shared and refined without aliasing surprises.  Nothing executes
+    until :meth:`collect` (immediate) or :meth:`submit` (deferred, drained by
+    :meth:`Session.run_batch`).
+    """
+
+    session: "Session"
+    path: str
+    _where: Optional[Expr] = None
+    _select: Optional[tuple[str, ...]] = None
+    _name: Optional[str] = None
+    _description: str = ""
+    _selectivity: Optional[float] = None
+
+    # ------------------------------------------------------------------ builders
+    def where(self, expression: Expr) -> "Dataset":
+        """Narrow the selection; repeated calls conjoin (``a.where(x).where(y)`` is ``x & y``)."""
+        if isinstance(expression, ColumnExpr):
+            raise UnsupportedExpressionError(
+                "where() got a bare column; compare it first (e.g. col('a') == value)"
+            )
+        if not isinstance(expression, Expr):
+            raise TypeError(f"where() expects a DSL expression, got {expression!r}")
+        combined = expression if self._where is None else (self._where & expression)
+        return replace(self, _where=combined)
+
+    def select(self, *attributes: str) -> "Dataset":
+        """Project the named attributes, in output order (replaces any earlier projection)."""
+        if not attributes:
+            raise ValueError("select() needs at least one attribute name")
+        return replace(self, _select=tuple(attributes))
+
+    def named(self, name: str) -> "Dataset":
+        """Set the query name used in figures and reports."""
+        return replace(self, _name=name)
+
+    def described(self, description: str) -> "Dataset":
+        """Set an explicit figure label (otherwise one is rendered from the compiled query)."""
+        return replace(self, _description=description)
+
+    def with_selectivity(self, selectivity: float) -> "Dataset":
+        """Attach the paper's stated selectivity (reporting only)."""
+        return replace(self, _selectivity=selectivity)
+
+    # ------------------------------------------------------------------ lowering
+    def logical(self) -> LogicalQuery:
+        """The dataset's current state as the :class:`LogicalQuery` IR."""
+        return LogicalQuery(
+            name=self._name or self.session._next_query_name(self.path),
+            where=self._where,
+            select=self._select,
+            description=self._description,
+            selectivity=self._selectivity,
+        )
+
+    def to_query(self) -> Query:
+        """Compile to the stable :class:`~repro.workloads.query.Query` the engine executes."""
+        return self.logical().compile()
+
+    # ------------------------------------------------------------------ execution
+    def collect(
+        self, system: Optional[str] = None, failure: Optional[FailureEvent] = None
+    ) -> QueryResult:
+        """Compile and execute now; returns the engine's full :class:`QueryResult`."""
+        return self.session.run(self, system=system, failure=failure)
+
+    def rows(self, system: Optional[str] = None) -> list[tuple]:
+        """Convenience: just the result records of :meth:`collect`."""
+        return self.collect(system=system).records
+
+    def explain(self, system: Optional[str] = None) -> str:
+        """``EXPLAIN``-style rendering of the plan the engine would choose right now.
+
+        Adaptive deployments replan as replicas appear and disappear, so the same dataset can
+        explain differently before and after a batch — that is the point.
+        """
+        target = self.session.system(system)
+        return target.explain(self.to_query(), self.path)
+
+    def submit(self, system: Optional[str] = None) -> "QueryHandle":
+        """Defer execution: enqueue on the session and return a handle.
+
+        The handle resolves when :meth:`Session.run_batch` drains the queue; batching lets
+        adaptive indexing, the lifecycle manager and the auto-tuner work across the whole
+        workload instead of one query at a time.
+        """
+        return self.session._enqueue(self.to_query(), self.path, system)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self._where.describe() if self._where is not None else "*"
+        return f"Dataset({self.path!r}, where={where}, select={self._select})"
+
+
+# --------------------------------------------------------------------------- deferred queries
+@dataclass
+class QueryHandle:
+    """A submitted-but-not-yet-executed query (created by :meth:`Dataset.submit`)."""
+
+    query: Query
+    path: str
+    system: str
+    _result: Optional[QueryResult] = None
+
+    @property
+    def done(self) -> bool:
+        """Has :meth:`Session.run_batch` executed this query yet?"""
+        return self._result is not None
+
+    def result(self) -> QueryResult:
+        """The execution result; raises until the owning session ran the batch."""
+        if self._result is None:
+            raise RuntimeError(
+                f"query {self.query.name!r} has not been executed yet; "
+                "call session.run_batch() to drain submitted queries"
+            )
+        return self._result
+
+
+@dataclass
+class BatchResult:
+    """Results of one :meth:`Session.run_batch` call, in submission order."""
+
+    results: list[QueryResult] = field(default_factory=list)
+
+    @property
+    def runtimes(self) -> list[float]:
+        """End-to-end runtime of every query, in execution order (convergence curves)."""
+        return [result.runtime_s for result in self.results]
+
+    @property
+    def total_runtime_s(self) -> float:
+        """Summed end-to-end runtimes of the batch."""
+        return sum(self.runtimes)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+
+# --------------------------------------------------------------------------- session stats
+@dataclass(frozen=True)
+class SessionStats:
+    """Per-system session statistics: counters, adaptive footprint, tuner state.
+
+    A snapshot, not a live view — take one before and after a batch to difference them.
+    Counter totals accumulate over every query the session ran on the system, including the
+    ``ADAPTIVE_*`` counters the lifecycle tuner itself consumes (the ROADMAP's per-attribute
+    visibility follow-up hangs off this surface).
+    """
+
+    system: str
+    queries_run: int
+    total_runtime_s: float
+    counters: dict[str, float]
+    #: Adaptive (lazily built) replicas per uploaded path; empty for systems without them.
+    adaptive_replicas: dict[str, int]
+    #: On-disk bytes of those adaptive replicas per path (what eviction budgets against).
+    adaptive_bytes: dict[str, int]
+    #: Live auto-tuner knobs, when the system runs the feedback controller.
+    tuner_offer_rate: Optional[float] = None
+    tuner_budget: Optional[int] = None
+
+    def counter(self, name: str) -> float:
+        """Session total of one MapReduce counter (0 when never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    @property
+    def adaptive_builds_committed(self) -> int:
+        """Adaptive index builds registered across the session."""
+        return int(self.counter(Counters.ADAPTIVE_INDEXES_COMMITTED))
+
+    @property
+    def adaptive_build_seconds(self) -> float:
+        """Simulated seconds those builds charged on top of their scans (cost side)."""
+        return self.counter(Counters.ADAPTIVE_BUILD_SECONDS)
+
+    @property
+    def adaptive_index_uses(self) -> int:
+        """Blocks answered via a previously built adaptive index."""
+        return int(self.counter(Counters.ADAPTIVE_INDEX_USES))
+
+    @property
+    def adaptive_saved_seconds(self) -> float:
+        """Measured counterfactual scan savings of those uses (benefit side)."""
+        return self.counter(Counters.ADAPTIVE_SAVED_SECONDS)
+
+    @property
+    def scan_fallback_blocks(self) -> int:
+        """Blocks answered without any index — the pool future builds could convert."""
+        return int(self.counter(Counters.SCAN_FALLBACK_BLOCKS))
+
+    @property
+    def adaptive_indexes_evicted(self) -> int:
+        """Adaptive replicas dropped by disk-pressure eviction across the session."""
+        return int(self.counter(Counters.ADAPTIVE_INDEXES_EVICTED))
+
+
+# --------------------------------------------------------------------------- the session
+class Session:
+    """The client context: a deployment of one or more systems plus per-session state.
+
+    Construct directly from built systems (they keep their own clusters and cost models)::
+
+        session = Session([hail_system, hadoop_system])
+
+    or let :meth:`Session.deploy` build a fresh deployment by system name.  The first system
+    is the *default* — the one ``dataset().collect()`` and :meth:`stats` address when no
+    ``system=`` is given — unless ``default=`` names another.
+    """
+
+    def __init__(
+        self,
+        systems: Union[BaseSystem, Sequence[BaseSystem]],
+        default: Optional[str] = None,
+    ) -> None:
+        if isinstance(systems, BaseSystem):
+            systems = [systems]
+        systems = list(systems)
+        if not systems:
+            raise ValueError("a session needs at least one system")
+        self._systems: dict[str, BaseSystem] = {}
+        for system in systems:
+            if system.name in self._systems:
+                raise ValueError(f"duplicate system name {system.name!r} in one session")
+            self._systems[system.name] = system
+        self._default = default if default is not None else systems[0].name
+        if self._default not in self._systems:
+            raise KeyError(f"default system {self._default!r} is not part of this session")
+        #: Upload reports per path per system, in upload order.
+        self.upload_reports: dict[str, dict[str, SystemUploadReport]] = {}
+        self._paths: list[str] = []
+        self._pending: list[QueryHandle] = []
+        self._counters: dict[str, Counters] = {name: Counters() for name in self._systems}
+        self._queries_run: dict[str, int] = {name: 0 for name in self._systems}
+        self._runtime_s: dict[str, float] = {name: 0.0 for name in self._systems}
+        self._query_names = itertools.count(1)
+
+    # ------------------------------------------------------------------ deployment
+    @classmethod
+    def deploy(
+        cls,
+        nodes: int = 4,
+        systems: Sequence[str] = ("HAIL",),
+        hardware: str = "physical",
+        index_attributes: Sequence[str] = (),
+        hail_config: Optional[HailConfig] = None,
+        trojan_attribute: Optional[str] = None,
+        replication: int = 3,
+        data_scale: float = 1.0,
+        default: Optional[str] = None,
+    ) -> "Session":
+        """Build a fresh deployment by system name ("HAIL", "Hadoop++", "Hadoop").
+
+        Every system gets its own simulated cluster (same size and hardware profile) and a
+        cost model scaled by ``data_scale``, mirroring how the paper's experiments deploy the
+        three systems side by side.  ``hail_config`` overrides ``index_attributes`` for full
+        control of the HAIL deployment (adaptive knobs, splitting policy, ...).
+        """
+        profile = HardwareProfile.by_name(hardware)
+        built: list[BaseSystem] = []
+        for name in systems:
+            cluster = Cluster.homogeneous(nodes, profile)
+            if name == "HAIL":
+                config = hail_config
+                if config is None:
+                    config = HailConfig.for_attributes(
+                        tuple(index_attributes), functional_partition_size=1
+                    )
+                cost = CostModel(
+                    CostParameters(data_scale=data_scale, replication=config.replication)
+                )
+                built.append(HailSystem(cluster, config=config, cost=cost))
+            elif name == "Hadoop++":
+                cost = CostModel(CostParameters(data_scale=data_scale, replication=replication))
+                built.append(
+                    HadoopPlusPlusSystem(
+                        cluster,
+                        trojan_attribute=trojan_attribute,
+                        cost=cost,
+                        replication=replication,
+                        functional_partition_size=1,
+                    )
+                )
+            elif name == "Hadoop":
+                cost = CostModel(CostParameters(data_scale=data_scale, replication=replication))
+                built.append(HadoopSystem(cluster, cost=cost, replication=replication))
+            else:
+                raise KeyError(f"unknown system {name!r}; known: HAIL, Hadoop++, Hadoop")
+        return cls(built, default=default)
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def system_names(self) -> tuple[str, ...]:
+        """The session's systems, default first."""
+        names = list(self._systems)
+        names.remove(self._default)
+        return (self._default, *names)
+
+    def system(self, name: Optional[str] = None) -> BaseSystem:
+        """Look up a system by name (``None`` addresses the default system)."""
+        key = name if name is not None else self._default
+        try:
+            return self._systems[key]
+        except KeyError:
+            raise KeyError(
+                f"no system {key!r} in this session; have {sorted(self._systems)}"
+            ) from None
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        """Paths uploaded through this session, in upload order."""
+        return tuple(self._paths)
+
+    @property
+    def pending(self) -> tuple[QueryHandle, ...]:
+        """Submitted-but-unexecuted query handles, in submission order."""
+        return tuple(handle for handle in self._pending if not handle.done)
+
+    # ------------------------------------------------------------------ data lifecycle
+    def upload(
+        self,
+        path: str,
+        records: Sequence[tuple],
+        schema: Schema,
+        rows_per_block: int = 200,
+        systems: Optional[Sequence[str]] = None,
+        raw_lines: Optional[Sequence[str]] = None,
+    ) -> Dataset:
+        """Upload ``records`` under ``path`` into every (selected) system; returns the dataset.
+
+        Per-system :class:`~repro.systems.base.SystemUploadReport` objects land in
+        :attr:`upload_reports` keyed by path then system name.
+        """
+        targets = list(systems) if systems is not None else list(self._systems)
+        reports: dict[str, SystemUploadReport] = {}
+        for name in targets:
+            reports[name] = self.system(name).upload(
+                path, records, schema, rows_per_block=rows_per_block, raw_lines=raw_lines
+            )
+        self.upload_reports[path] = reports
+        self._paths.append(path)
+        return Dataset(session=self, path=path)
+
+    def dataset(self, path: str) -> Dataset:
+        """A lazy :class:`Dataset` over an already-uploaded path.
+
+        The path must be known to at least one of the session's systems (uploads targeted at
+        a subset via ``upload(systems=[...])`` count); executing against a system that does
+        not hold it still fails at ``collect`` time with a pointed error.
+        """
+        if not any(self._holds_path(system, path) for system in self._systems.values()):
+            raise KeyError(f"unknown dataset {path!r}; upload it first")
+        return Dataset(session=self, path=path)
+
+    # ------------------------------------------------------------------ execution
+    def run(
+        self,
+        item: Runnable,
+        system: Optional[str] = None,
+        path: Optional[str] = None,
+        failure: Optional[FailureEvent] = None,
+    ) -> QueryResult:
+        """Execute one query now and record it in the session statistics.
+
+        ``item`` may be a :class:`Dataset`, a :class:`QueryHandle`, a
+        :class:`~repro.api.logical.LogicalQuery`, or a compiled
+        :class:`~repro.workloads.query.Query`; the latter two need ``path`` (or a single
+        uploaded path to default to).
+        """
+        query, query_path, target_name = self._resolve(item, system, path)
+        target = self.system(target_name)
+        result = target.run_query(query, query_path, failure=failure)
+        self._record(target_name, result)
+        if isinstance(item, QueryHandle):
+            item._result = result
+        return result
+
+    def run_batch(
+        self,
+        items: Optional[Sequence[Runnable]] = None,
+        system: Optional[str] = None,
+        path: Optional[str] = None,
+    ) -> BatchResult:
+        """Execute a whole workload through the owning runners, in order.
+
+        With ``items=None`` the session drains every query submitted via
+        :meth:`Dataset.submit` (each on the system it was submitted to).  All queries of a
+        batch flow through each system's single MapReduce runner back to back, which is what
+        lets adaptive indexing converge *within* the batch: builds committed by query *k* are
+        index scans for query *k+1*, the lifecycle manager runs after every job, and the
+        auto-tuner's knob updates feed straight into the next query.
+        """
+        if items is None:
+            items = list(self.pending)
+        batch = BatchResult()
+        for item in items:
+            batch.results.append(self.run(item, system=system, path=path))
+        return batch
+
+    def explain(
+        self, item: Runnable, system: Optional[str] = None, path: Optional[str] = None
+    ) -> str:
+        """``EXPLAIN`` the plan the (default) system would choose for ``item`` right now."""
+        query, query_path, target_name = self._resolve(item, system, path)
+        return self.system(target_name).explain(query, query_path)
+
+    # ------------------------------------------------------------------ statistics
+    def stats(self, system: Optional[str] = None) -> SessionStats:
+        """Snapshot this session's accumulated statistics for one system.
+
+        Includes the summed per-job ``ADAPTIVE_*`` counters (builds, build seconds, index
+        uses, measured savings, fallback blocks, evictions), the adaptive replica count and
+        byte footprint per uploaded path, and — when the system auto-tunes — the feedback
+        controller's live offer rate and budget.
+        """
+        name = system if system is not None else self._default
+        target = self.system(name)
+        adaptive_replicas: dict[str, int] = {}
+        adaptive_bytes: dict[str, int] = {}
+        if isinstance(target, HailSystem):
+            # Only paths this system actually holds: uploads may target a subset of systems.
+            for uploaded in self._paths:
+                if not self._holds_path(target, uploaded):
+                    continue
+                adaptive_replicas[uploaded] = target.adaptive_replica_count(uploaded)
+                adaptive_bytes[uploaded] = target.adaptive_replica_bytes(uploaded)
+        tuner_offer_rate: Optional[float] = None
+        tuner_budget: Optional[int] = None
+        lifecycle = getattr(target, "lifecycle", None)
+        if lifecycle is not None and lifecycle.auto_tunes:
+            tuner_offer_rate = lifecycle.offer_rate
+            tuner_budget = lifecycle.budget
+        return SessionStats(
+            system=name,
+            queries_run=self._queries_run[name],
+            total_runtime_s=self._runtime_s[name],
+            counters=self._counters[name].as_dict(),
+            adaptive_replicas=adaptive_replicas,
+            adaptive_bytes=adaptive_bytes,
+            tuner_offer_rate=tuner_offer_rate,
+            tuner_budget=tuner_budget,
+        )
+
+    # ------------------------------------------------------------------ internals
+    @staticmethod
+    def _holds_path(system: BaseSystem, path: str) -> bool:
+        """Does this system's HDFS deployment hold ``path`` (however it was uploaded)?"""
+        return system.hdfs.namenode.file_exists(path)
+
+    def _enqueue(self, query: Query, path: str, system: Optional[str]) -> QueryHandle:
+        """Register a deferred query for the next :meth:`run_batch` drain."""
+        target = system if system is not None else self._default
+        self.system(target)  # validate early: a typo should fail at submit, not at drain
+        handle = QueryHandle(query=query, path=path, system=target)
+        self._pending.append(handle)
+        return handle
+
+    def _record(self, system: str, result: QueryResult) -> None:
+        """Fold one query result into the per-system session statistics."""
+        self._queries_run[system] += 1
+        self._runtime_s[system] += result.runtime_s
+        self._counters[system].merge(result.job.counters)
+
+    def _resolve(
+        self, item: Runnable, system: Optional[str], path: Optional[str]
+    ) -> tuple[Query, str, str]:
+        """Normalize any runnable into ``(compiled query, path, system name)``."""
+        if isinstance(item, Dataset):
+            return item.to_query(), item.path, system if system is not None else self._default
+        if isinstance(item, QueryHandle):
+            # An explicit system= wins over the one recorded at submit time.
+            return item.query, item.path, system if system is not None else item.system
+        if isinstance(item, LogicalQuery):
+            return item.compile(), self._require_path(path), (
+                system if system is not None else self._default
+            )
+        if isinstance(item, Query):
+            return item, self._require_path(path), (
+                system if system is not None else self._default
+            )
+        raise TypeError(
+            f"cannot run {item!r}; expected a Dataset, QueryHandle, LogicalQuery or Query"
+        )
+
+    def _require_path(self, path: Optional[str]) -> str:
+        if path is not None:
+            return path
+        if len(self._paths) == 1:
+            return self._paths[0]
+        raise ValueError(
+            "running a bare Query/LogicalQuery needs path= "
+            f"(session has {len(self._paths)} uploaded paths)"
+        )
+
+    def _next_query_name(self, path: str) -> str:
+        """A stable auto-name for unnamed datasets (``q1@/data/...``, ``q2@...``)."""
+        return f"q{next(self._query_names)}@{path}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session(systems={list(self._systems)}, default={self._default!r})"

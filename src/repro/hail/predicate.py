@@ -154,6 +154,20 @@ class Predicate:
         """Human-readable conjunction."""
         return " and ".join(clause.describe(schema) for clause in self.clauses)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same clauses in the same order.
+
+        Clause *order* matters deliberately — it is a planning input (see
+        ``Query.filter_attributes``) — so two predicates that match the same rows but would
+        plan differently compare unequal.
+        """
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.clauses == other.clauses
+
+    def __hash__(self) -> int:
+        return hash(self.clauses)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Predicate({self.describe()})"
 

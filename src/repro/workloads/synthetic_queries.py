@@ -3,13 +3,16 @@
 All six queries filter on the *same* attribute (``f1``), so HAIL cannot benefit from having
 different indexes on different replicas — the point of this workload is to isolate the effect of
 selectivity (0.10 vs 0.01) and projectivity (19 / 9 / 1 attributes).
+
+Queries are declared through the typed expression DSL (:mod:`repro.api`); the explicit
+``description`` strings keep the paper's figure labels verbatim.
 """
 
 from __future__ import annotations
 
+from repro.api.expressions import col
+from repro.api.logical import LogicalQuery
 from repro.datagen.synthetic import NUM_ATTRIBUTES, VALUE_RANGE, SYNTHETIC_SCHEMA
-from repro.hail.predicate import Operator, Predicate
-from repro.workloads.query import Query
 
 #: The attribute every Synthetic query filters on.
 SYNTHETIC_FILTER_ATTRIBUTE = "f1"
@@ -25,18 +28,18 @@ _TABLE_1: tuple[tuple[str, float, int], ...] = (
 )
 
 
-def synthetic_queries(value_range: int = VALUE_RANGE) -> list[Query]:
-    """Syn-Q1a .. Syn-Q2c with range predicates realising Table 1's selectivities."""
+def synthetic_logical_queries(value_range: int = VALUE_RANGE) -> list[LogicalQuery]:
+    """Syn-Q1a .. Syn-Q2c as declarative :class:`LogicalQuery` definitions (the IR form)."""
     queries = []
     all_attributes = SYNTHETIC_SCHEMA.field_names
     for suffix, selectivity, projected in _TABLE_1:
         bound = int(round(selectivity * value_range))
         projection = tuple(all_attributes[:projected])
         queries.append(
-            Query(
+            LogicalQuery(
                 name=f"Syn-{suffix}",
-                predicate=Predicate.comparison(SYNTHETIC_FILTER_ATTRIBUTE, Operator.LT, bound),
-                projection=projection,
+                where=col(SYNTHETIC_FILTER_ATTRIBUTE) < bound,
+                select=projection,
                 description=(
                     f"SELECT {', '.join(projection) if projected < NUM_ATTRIBUTES else '*'} "
                     f"FROM Synthetic WHERE {SYNTHETIC_FILTER_ATTRIBUTE} < {bound}"
@@ -45,3 +48,8 @@ def synthetic_queries(value_range: int = VALUE_RANGE) -> list[Query]:
             )
         )
     return queries
+
+
+def synthetic_queries(value_range: int = VALUE_RANGE) -> list:
+    """Syn-Q1a .. Syn-Q2c compiled to range predicates realising Table 1's selectivities."""
+    return [logical.compile() for logical in synthetic_logical_queries(value_range)]

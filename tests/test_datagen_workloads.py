@@ -98,10 +98,10 @@ def test_weblog_generator_produces_bad_records():
 def test_bob_queries_match_paper_definitions():
     queries = bob_queries()
     assert [q.name for q in queries] == ["Bob-Q1", "Bob-Q2", "Bob-Q3", "Bob-Q4", "Bob-Q5"]
-    assert queries[0].filter_attributes == ("visitDate",)
-    assert queries[1].filter_attributes == ("sourceIP",)
-    assert queries[2].filter_attributes == ("sourceIP", "visitDate")
-    assert queries[3].filter_attributes == ("adRevenue",)
+    assert queries[0].filter_attributes() == ("visitDate",)
+    assert queries[1].filter_attributes() == ("sourceIP",)
+    assert queries[2].filter_attributes() == ("sourceIP", "visitDate")
+    assert queries[3].filter_attributes() == ("adRevenue",)
     assert queries[0].projection == ("sourceIP",)
     assert queries[4].projection == ("searchWord", "duration", "adRevenue")
     assert queries[1].selectivity == pytest.approx(3.2e-8)
@@ -116,7 +116,7 @@ def test_synthetic_queries_match_table_1():
     assert [len(q.projection) for q in queries] == [19, 9, 1, 19, 9, 1]
     assert [q.selectivity for q in queries] == [0.10, 0.10, 0.10, 0.01, 0.01, 0.01]
     # All Synthetic queries filter on the same attribute (the point of the workload).
-    assert {q.filter_attributes for q in queries} == {("f1",)}
+    assert {q.filter_attributes() for q in queries} == {("f1",)}
 
 
 def test_workload_definitions():

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""API-surface lint: pin the public exports against a checked-in manifest.
+
+The declarative client layer (``repro`` / ``repro.api``) is the surface users program
+against; renaming or dropping an export is a breaking change that should fail CI rather than
+surface as a user's ``ImportError``.  This checker compares each pinned module's ``__all__``
+with ``tools/public_api.json`` and reports drift in both directions:
+
+- **removed** names — present in the manifest, gone from the module: a breaking change; if
+  intentional, update the manifest in the same commit and say so in the change log;
+- **added** names — exported but not in the manifest: widen the manifest deliberately, so the
+  supported surface only ever grows on purpose;
+- **dangling** names — listed in ``__all__`` but not actually importable from the module
+  (a plain bug, manifest or not).
+
+Usage::
+
+    python tools/lint_api.py             # check (exit 1 on drift)
+    python tools/lint_api.py --update    # rewrite the manifest from the current exports
+
+Runs in CI and as ``tests/test_api_surface.py`` with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+#: Modules whose public surface is pinned.
+PINNED_MODULES: tuple[str, ...] = ("repro", "repro.api")
+
+#: The checked-in manifest of supported exports, relative to the repository root.
+MANIFEST_PATH = "tools/public_api.json"
+
+
+def exported_names(module_name: str) -> list[str]:
+    """The module's declared public surface (sorted ``__all__``).
+
+    A pinned module must declare ``__all__`` — the whole point is an explicit, reviewable
+    export list — so its absence is an error, not a fallback to ``dir()``.
+    """
+    module = importlib.import_module(module_name)
+    names = getattr(module, "__all__", None)
+    if names is None:
+        raise AttributeError(f"{module_name} must declare __all__ to be a pinned module")
+    return sorted(names)
+
+
+def check_module(module_name: str, pinned: list[str]) -> list[str]:
+    """Problems for one module: removed/added names vs the manifest, dangling exports."""
+    problems: list[str] = []
+    module = importlib.import_module(module_name)
+    actual = exported_names(module_name)
+    dangling = [name for name in actual if not hasattr(module, name)]
+    for name in dangling:
+        problems.append(f"{module_name}: __all__ lists {name!r} but the module has no such attribute")
+    removed = sorted(set(pinned) - set(actual))
+    added = sorted(set(actual) - set(pinned))
+    if removed:
+        problems.append(
+            f"{module_name}: exported names removed vs {MANIFEST_PATH}: {', '.join(removed)} "
+            "(breaking change — if intentional, update the manifest in the same commit)"
+        )
+    if added:
+        problems.append(
+            f"{module_name}: new exported names not in {MANIFEST_PATH}: {', '.join(added)} "
+            "(add them to the manifest to declare them supported)"
+        )
+    return problems
+
+
+def load_manifest(repo_root: Path) -> dict[str, list[str]]:
+    """The checked-in export manifest (module name -> sorted export list)."""
+    manifest_file = repo_root / MANIFEST_PATH
+    if not manifest_file.exists():
+        raise FileNotFoundError(
+            f"{MANIFEST_PATH} is missing; run 'python tools/lint_api.py --update' to create it"
+        )
+    return json.loads(manifest_file.read_text(encoding="utf-8"))
+
+
+def run(repo_root: Path, manifest: dict[str, list[str]] | None = None) -> list[str]:
+    """All API-surface problems for the repository (empty when clean)."""
+    if manifest is None:
+        manifest = load_manifest(repo_root)
+    problems: list[str] = []
+    for module_name in PINNED_MODULES:
+        if module_name not in manifest:
+            problems.append(f"{MANIFEST_PATH}: no entry for pinned module {module_name!r}")
+            continue
+        problems.extend(check_module(module_name, manifest[module_name]))
+    for module_name in sorted(set(manifest) - set(PINNED_MODULES)):
+        problems.append(
+            f"{MANIFEST_PATH}: entry {module_name!r} is not a pinned module "
+            f"(pinned: {', '.join(PINNED_MODULES)})"
+        )
+    return problems
+
+
+def update_manifest(repo_root: Path) -> None:
+    """Rewrite the manifest from the modules' current exports (the deliberate-change path)."""
+    manifest = {module_name: exported_names(module_name) for module_name in PINNED_MODULES}
+    manifest_file = repo_root / MANIFEST_PATH
+    manifest_file.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str]) -> int:
+    """Check (or with ``--update`` rewrite) the manifest; 0 on success."""
+    repo_root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(repo_root / "src"))
+    if "--update" in argv:
+        update_manifest(repo_root)
+        print(f"lint_api: wrote {MANIFEST_PATH} for {', '.join(PINNED_MODULES)}")
+        return 0
+    problems = run(repo_root)
+    if problems:
+        for problem in problems:
+            print(f"lint_api: {problem}", file=sys.stderr)
+        return 1
+    manifest = load_manifest(repo_root)
+    total = sum(len(names) for names in manifest.values())
+    print(f"lint_api: ok ({total} exported names pinned across {', '.join(PINNED_MODULES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
