@@ -1,0 +1,55 @@
+"""Placement benchmark: index-locality recovery after a node loss plus an eviction storm.
+
+Pins the acceptance properties of the placement-aware scheduling layer: with the balancer on,
+the steady-state index-local task fraction recovers to at least 90% of its pre-failure level
+after a node death and an eviction storm — with the offer rate frozen at zero, so scan-time
+pay-forward builds cannot mask the comparison — while the balancer-off control deployment
+stays degraded for the whole recovery phase.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import placement
+
+
+def test_placement_recovery_curve(benchmark, config):
+    """Index-local fraction: collapse at the disruption, balancer-driven recovery to >=90%."""
+    result = run_figure(benchmark, placement.placement_recovery_curve, config)
+    rows = result.rows
+    build_rows = [row for row in rows if row["phase"] == "build"]
+    recover_rows = [row for row in rows if row["phase"] == "recover"]
+    assert build_rows and recover_rows
+
+    # Functional correctness every round, for both deployments, before and after disruption.
+    for row in rows:
+        assert row["results_agree"]
+
+    # The build phase converged: both deployments end it fully index-local and covered.
+    pre = recover_rows[0]["pre_failure_fraction"]
+    assert pre == build_rows[-1]["managed_index_local_fraction"]
+    assert pre > 0.9
+    assert build_rows[-1]["managed_coverage"] == 1.0
+    assert build_rows[-1]["control_coverage"] == 1.0
+
+    # The disruption actually hurt: the first recovery round is well below the pre level.
+    assert recover_rows[0]["managed_index_local_fraction"] < 0.5 * pre
+    assert recover_rows[0]["control_index_local_fraction"] < 0.5 * pre
+
+    # The acceptance property: the managed deployment recovers to >=90% of the pre-failure
+    # index-local fraction (its coverage is repaired by the balancer's re-replication) ...
+    final = recover_rows[-1]
+    assert final["managed_index_local_fraction"] >= 0.9 * pre
+    assert final["managed_coverage"] == 1.0
+    assert final["managed_rebuilds_total"] > 0
+
+    # ... while the balancer-off control stays degraded (offer rate is frozen at zero, so
+    # nothing rebuilds the lost coverage).
+    assert final["control_index_local_fraction"] < 0.9 * pre
+    assert final["control_index_local_fraction"] < final["managed_index_local_fraction"]
+    assert final["control_coverage"] < 0.5
+
+    # Recovery is monotone-ish: the managed fraction never ends below where it started.
+    assert (
+        final["managed_index_local_fraction"]
+        >= recover_rows[0]["managed_index_local_fraction"]
+    )

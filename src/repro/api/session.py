@@ -216,10 +216,19 @@ class SessionStats:
     #: Live auto-tuner knobs, when the system runs the feedback controller.
     tuner_offer_rate: Optional[float] = None
     tuner_budget: Optional[int] = None
+    #: Live per-attribute offer rates (the split tuner ledgers), when the system tunes per
+    #: attribute; ``None`` for global-ledger or untuned deployments.
+    tuner_attribute_rates: Optional[dict[str, float]] = None
 
     def counter(self, name: str) -> float:
         """Session total of one MapReduce counter (0 when never incremented)."""
         return self.counters.get(name, 0.0)
+
+    def counter_by_attribute(self, name: str) -> dict[str, float]:
+        """Per-attribute slices of one adaptive counter (``name`` is the base counter)."""
+        from repro.mapreduce.counters import attribute_slices
+
+        return attribute_slices(self.counters, name)
 
     @property
     def adaptive_builds_committed(self) -> int:
@@ -250,6 +259,43 @@ class SessionStats:
     def adaptive_indexes_evicted(self) -> int:
         """Adaptive replicas dropped by disk-pressure eviction across the session."""
         return int(self.counter(Counters.ADAPTIVE_INDEXES_EVICTED))
+
+    @property
+    def sched_index_local(self) -> int:
+        """Map tasks launched on a node holding an index covering the query's filter."""
+        return int(self.counter(Counters.SCHED_INDEX_LOCAL))
+
+    @property
+    def sched_plain_local(self) -> int:
+        """Map tasks launched on a node holding only a plain replica of their split."""
+        return int(self.counter(Counters.SCHED_PLAIN_LOCAL))
+
+    @property
+    def sched_remote(self) -> int:
+        """Map tasks launched on a node holding no replica of their split at all."""
+        return int(self.counter(Counters.SCHED_REMOTE))
+
+    @property
+    def index_local_task_fraction(self) -> float:
+        """Fraction of classified launches that were index-local (0.0 without the policy).
+
+        Only populated for sessions run with ``index_aware_scheduling`` on — the scheduler
+        classifies launches only when the policy is installed.  Delegates to
+        :func:`repro.hail.scheduler.index_local_task_fraction` on the session counter totals.
+        """
+        from repro.hail.scheduler import index_local_task_fraction
+
+        return index_local_task_fraction(self.counters)
+
+    @property
+    def placement_rebuilds(self) -> int:
+        """Adaptive replicas the placement balancer re-created across the session."""
+        return int(self.counter(Counters.PLACEMENT_REREPLICATED))
+
+    @property
+    def placement_migrations(self) -> int:
+        """Adaptive replicas the balancer's skew repair moved across the session."""
+        return int(self.counter(Counters.PLACEMENT_MIGRATED))
 
 
 # --------------------------------------------------------------------------- the session
@@ -483,10 +529,13 @@ class Session:
                 adaptive_bytes[uploaded] = target.adaptive_replica_bytes(uploaded)
         tuner_offer_rate: Optional[float] = None
         tuner_budget: Optional[int] = None
+        tuner_attribute_rates: Optional[dict[str, float]] = None
         lifecycle = getattr(target, "lifecycle", None)
         if lifecycle is not None and lifecycle.auto_tunes:
             tuner_offer_rate = lifecycle.offer_rate
             tuner_budget = lifecycle.budget
+            if lifecycle.tuner.per_attribute:
+                tuner_attribute_rates = lifecycle.tuner.attribute_rates()
         return SessionStats(
             system=name,
             queries_run=self._queries_run[name],
@@ -496,6 +545,7 @@ class Session:
             adaptive_bytes=adaptive_bytes,
             tuner_offer_rate=tuner_offer_rate,
             tuner_budget=tuner_budget,
+            tuner_attribute_rates=tuner_attribute_rates,
         )
 
     # ------------------------------------------------------------------ internals

@@ -79,6 +79,10 @@ class AdaptiveJobContext:
     budget: Optional[int] = None
     salt: int = 0
     builds_offered: int = 0
+    #: Per-attribute offer rates (the split tuner ledgers' live knobs): when the deployment
+    #: tunes per attribute, :meth:`offers` looks the build attribute up here and falls back
+    #: to the scalar ``offer_rate`` only for attributes the tuner has no ledger for yet.
+    attribute_offer_rates: dict = field(default_factory=dict)
     #: Multi-attribute convergence: when a block is already answered via an index on one filter
     #: attribute, the planner may additionally offer a *piggyback* build on the query's next
     #: uncovered filter attribute, so mixed-predicate workloads converge to multi-index
@@ -144,10 +148,11 @@ class AdaptiveJobContext:
         key = (block_id, attribute)
         if key in self.decisions:
             return self.decisions[key]
+        rate = self.attribute_offer_rates.get(attribute, self.offer_rate)
         decision = True
         if self.budget is not None and self.builds_offered >= self.budget:
             decision = False
-        elif offer_draw(self.salt, block_id, attribute) >= self.offer_rate:
+        elif offer_draw(self.salt, block_id, attribute) >= rate:
             decision = False
         if decision:
             self.builds_offered += 1

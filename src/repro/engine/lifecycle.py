@@ -19,8 +19,21 @@ This module closes both loops:
   namenode) until the footprint falls below the low watermark.  Upload-time indexes are never
   evicted, a block's last alive replica is never dropped, and ``Dir_rep`` entry + stored
   replica are removed together, so eviction can never leave half-removed metadata behind.
-- :class:`AdaptiveLifecycleManager` — the per-deployment owner of both, invoked by the
+- :class:`PlacementBalancer` — the cluster-wide placement repair loop.  Eviction and node
+  failures leave *coverage holes* (blocks whose only adaptive index was reclaimed or died with
+  its host) and *placement skew* (adaptive replicas and their index traffic piling up on a few
+  nodes).  The balancer re-creates adaptive copies for demanded attributes whose coverage was
+  lost, and migrates adaptive replicas off hot nodes when per-node adaptive-byte or index-use
+  skew exceeds a watermark — never violating replication floors (it only adds, or moves
+  add-before-remove) nor disk budgets (placements stay under the pressure policy's low
+  watermark, so they can never trigger the evictor they feed).
+- :class:`AdaptiveLifecycleManager` — the per-deployment owner of all three, invoked by the
   MapReduce runner once per job (after the failure-safe commit of staged builds).
+
+The tuner optionally keeps **per-attribute ledgers** (:class:`AttributeLedger`): instead of one
+global offer rate, each filter attribute earns its own rate from its own cost/benefit slice, so
+offers are steered toward the attributes actually saving scan seconds while index-hostile
+attributes decay to zero individually.
 
 All of this is opt-in: without the :class:`~repro.hail.config.HailConfig` lifecycle knobs the
 manager is never created and behaviour is bit-identical to plain adaptive indexing.
@@ -28,12 +41,13 @@ manager is never created and behaviour is bit-identical to plain adaptive indexi
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.disk import DiskPressurePolicy
 
 if TYPE_CHECKING:  # only for annotations: keep this module import-light
+    from repro.cluster.costmodel import CostModel
     from repro.hdfs.filesystem import Hdfs
     from repro.mapreduce.counters import Counters
 
@@ -64,6 +78,11 @@ class JobObservation:
         The job's *useful* RecordReader seconds: the runner passes total RecordReader time
         minus every staged build's seconds (committed or not — dropped builds spent their
         time too), and this sizes the build budget.
+    builds_by_attribute / build_seconds_by_attribute / uses_by_attribute /
+    saved_seconds_by_attribute / fallbacks_by_attribute:
+        Per-attribute slices of the five quantities above (from the ``COUNTER[attr]``
+        counters) — what the per-attribute tuner ledgers and the placement balancer's demand
+        tracking consume.  Empty dicts for jobs that predate the per-attribute counters.
     """
 
     builds_committed: int = 0
@@ -72,6 +91,11 @@ class JobObservation:
     saved_seconds: float = 0.0
     fallback_blocks: int = 0
     record_reader_seconds: float = 0.0
+    builds_by_attribute: dict = field(default_factory=dict)
+    build_seconds_by_attribute: dict = field(default_factory=dict)
+    uses_by_attribute: dict = field(default_factory=dict)
+    saved_seconds_by_attribute: dict = field(default_factory=dict)
+    fallbacks_by_attribute: dict = field(default_factory=dict)
 
     @classmethod
     def from_counters(cls, counters: "Counters", useful_reader_seconds: float) -> "JobObservation":
@@ -89,10 +113,53 @@ class JobObservation:
             saved_seconds=counters.value(Counters.ADAPTIVE_SAVED_SECONDS),
             fallback_blocks=int(counters.value(Counters.SCAN_FALLBACK_BLOCKS)),
             record_reader_seconds=max(0.0, useful_reader_seconds),
+            builds_by_attribute={
+                attr: int(count)
+                for attr, count in counters.by_attribute(
+                    Counters.ADAPTIVE_INDEXES_COMMITTED
+                ).items()
+            },
+            build_seconds_by_attribute=counters.by_attribute(Counters.ADAPTIVE_BUILD_SECONDS),
+            uses_by_attribute={
+                attr: int(count)
+                for attr, count in counters.by_attribute(Counters.ADAPTIVE_INDEX_USES).items()
+            },
+            saved_seconds_by_attribute=counters.by_attribute(Counters.ADAPTIVE_SAVED_SECONDS),
+            fallbacks_by_attribute={
+                attr: int(count)
+                for attr, count in counters.by_attribute(Counters.SCAN_FALLBACK_BLOCKS).items()
+            },
+        )
+
+    @property
+    def active_attributes(self) -> set:
+        """Attributes this job touched adaptively (built, used an index, or fell back)."""
+        return (
+            set(self.builds_by_attribute)
+            | set(self.uses_by_attribute)
+            | set(self.fallbacks_by_attribute)
         )
 
 
 # --------------------------------------------------------------------------- the tuner
+@dataclass
+class AttributeLedger:
+    """One attribute's slice of the tuner state: its own offer rate and payback ledger.
+
+    With per-attribute tuning enabled, every filter attribute the workload touches gets one of
+    these, updated from the ``COUNTER[attr]`` slices of each :class:`JobObservation` under the
+    same raise/decay/probe control law the global tuner applies — so an attribute whose
+    adaptive indexes save scan seconds converges at full speed while a hostile attribute's
+    rate decays to zero without dragging the profitable one down with it.
+    """
+
+    offer_rate: float = 0.5
+    jobs_observed: int = 0
+    jobs_since_build: int = 0
+    total_build_seconds: float = 0.0
+    total_saved_seconds: float = 0.0
+
+
 @dataclass
 class AdaptiveTuner:
     """Feedback controller for ``adaptive_offer_rate`` and ``adaptive_budget_per_job``.
@@ -138,12 +205,18 @@ class AdaptiveTuner:
     #: can ancient debt outlaw probing forever).
     ledger_decay: float = 0.9
 
+    #: Split the payback ledger per filter attribute (:class:`AttributeLedger`): offers are
+    #: then steered per attribute via ``AdaptiveJobContext.attribute_offer_rates`` while the
+    #: global rate keeps serving as the starting point for attributes never seen before.
+    per_attribute: bool = False
+
     jobs_observed: int = 0
     jobs_since_build: int = 0
     total_build_seconds: float = 0.0
     total_saved_seconds: float = 0.0
     build_cost_ema: Optional[float] = None
     reader_seconds_ema: Optional[float] = None
+    ledgers: dict = field(default_factory=dict)
 
     def observe(self, observation: JobObservation) -> None:
         """Fold one finished job into the ledger and update both knobs."""
@@ -164,6 +237,12 @@ class AdaptiveTuner:
             )
         self._update_offer_rate(observation)
         self._update_budget()
+        if self.per_attribute:
+            self._update_ledgers(observation)
+
+    def attribute_rates(self) -> dict[str, float]:
+        """The live per-attribute offer rates (empty unless ``per_attribute`` tuning is on)."""
+        return {attribute: ledger.offer_rate for attribute, ledger in sorted(self.ledgers.items())}
 
     # ------------------------------------------------------------------ internals
     def _blend(self, ema: Optional[float], sample: float) -> float:
@@ -216,6 +295,57 @@ class AdaptiveTuner:
             return
         tolerated = self.overhead_fraction * self.reader_seconds_ema
         self.budget = max(self.min_budget, int(tolerated / self.build_cost_ema))
+
+    def _update_ledgers(self, observation: JobObservation) -> None:
+        """Apply the raise/decay/probe law per attribute, on that attribute's counter slice.
+
+        An attribute the job did not touch at all counts as *idle* for its ledger (its rate
+        decays), which is what retargets the offer budget after a workload shift: the old
+        attribute's rate sinks while the newly filtered attribute's rate climbs on its own
+        savings.  Attributes never seen before start from the tuner's current global rate.
+        """
+        for attribute in sorted(observation.active_attributes | set(self.ledgers)):
+            ledger = self.ledgers.get(attribute)
+            if ledger is None:
+                ledger = AttributeLedger(offer_rate=self.offer_rate)
+                self.ledgers[attribute] = ledger
+            builds = observation.builds_by_attribute.get(attribute, 0)
+            build_seconds = observation.build_seconds_by_attribute.get(attribute, 0.0)
+            uses = observation.uses_by_attribute.get(attribute, 0)
+            saved_seconds = observation.saved_seconds_by_attribute.get(attribute, 0.0)
+            fallbacks = observation.fallbacks_by_attribute.get(attribute, 0)
+
+            ledger.jobs_observed += 1
+            ledger.jobs_since_build = 0 if builds else ledger.jobs_since_build + 1
+            ledger.total_build_seconds = (
+                self.ledger_decay * ledger.total_build_seconds + build_seconds
+            )
+            ledger.total_saved_seconds = (
+                self.ledger_decay * ledger.total_saved_seconds + saved_seconds
+            )
+            payback_ok = (
+                ledger.total_build_seconds <= 0.0
+                or ledger.total_saved_seconds
+                >= self.payback_fraction * ledger.total_build_seconds
+            )
+
+            if saved_seconds > build_seconds and saved_seconds > 0:
+                ledger.offer_rate = min(
+                    1.0, max(ledger.offer_rate, self.min_offer_rate) * self.increase_factor
+                )
+                continue
+            idle = builds == 0 and uses == 0 and fallbacks == 0
+            unpaid = builds > 0 and not payback_ok and ledger.jobs_observed > self.grace_jobs
+            if idle or unpaid:
+                ledger.offer_rate *= self.decay_factor
+                if ledger.offer_rate < self.offer_floor:
+                    ledger.offer_rate = 0.0
+            elif (
+                fallbacks > 0
+                and ledger.offer_rate < self.min_offer_rate
+                and (payback_ok or ledger.jobs_since_build >= self.probe_cooldown)
+            ):
+                ledger.offer_rate = self.min_offer_rate
 
 
 # --------------------------------------------------------------------------- eviction
@@ -363,6 +493,495 @@ def _downgrade_replica(hdfs: "Hdfs", datanode_id: int, block_id: int, info) -> N
     )
 
 
+# --------------------------------------------------------------------------- placement
+def adaptive_placement_stats(hdfs: "Hdfs") -> dict[int, dict]:
+    """Per alive node: adaptive byte footprint, index-use total, and the replicas behind them.
+
+    The single namenode walk both the balancer's skew repair and the reporting helper
+    :func:`repro.hail.scheduler.adaptive_placement_by_node` are built on — what counts as
+    "adaptive" (``Dir_rep`` ``origin="adaptive"``) is decided here exactly once.  Each node's
+    ``"replicas"`` list holds ``(last_used_tick, use_count, block_id, info)`` tuples, the LRU
+    ordering key shared with eviction.
+    """
+    namenode = hdfs.namenode
+    stats: dict[int, dict] = {
+        node.node_id: {"bytes": 0.0, "uses": 0.0, "replicas": []}
+        for node in hdfs.cluster.alive_nodes
+    }
+    for node_id, entry in stats.items():
+        datanode = hdfs.datanode(node_id)
+        for block_id in datanode.block_ids():
+            info = namenode.replica_info(block_id, node_id)
+            if info is None or not getattr(info, "is_adaptive", False):
+                continue
+            use_count, last_tick = namenode.index_usage(block_id, node_id)
+            entry["bytes"] += float(info.size_on_disk_bytes)
+            entry["uses"] += float(use_count)
+            entry["replicas"].append((last_tick, use_count, block_id, info))
+    return stats
+
+
+@dataclass(frozen=True)
+class PlacementAction:
+    """One repair the :class:`PlacementBalancer` performed after a job.
+
+    ``kind`` is ``"rebuild"`` (an adaptive replica re-created for a block whose index
+    coverage was lost to eviction or a node death) or ``"migrate"`` (an adaptive replica
+    moved off a hot node by skew repair).  ``seconds`` is the simulated background I/O/CPU
+    cost of the action — balancer work runs off the job's critical path, so it is reported
+    but never added to a job's runtime.
+    """
+
+    kind: str
+    block_id: int
+    attribute: Optional[str]
+    source_datanode: Optional[int]
+    target_datanode: int
+    bytes_moved: float
+    seconds: float
+    reason: str = ""
+
+
+@dataclass
+class PlacementBalancer:
+    """Cluster-wide repair of adaptive-replica placement: re-replication plus skew repair.
+
+    The balancer runs once per job (after commit and eviction) and performs bounded work:
+
+    - **Re-replication** — for every attribute with *recent demand* (the workload built, used
+      or fell back on it within the last ``demand_window`` jobs), blocks whose index coverage
+      was **lost** — an eviction tombstone exists, or every replica carrying the index sits on
+      a dead node — get a fresh adaptive replica, rebuilt from an alive copy of the block's
+      data onto the least-loaded alive node that holds no replica of the block.  At most
+      ``rebuilds_per_pass`` per run.  Demand gating is what keeps re-replication and eviction
+      from fighting: a *cold* evicted index has no demand, so it is never rebuilt just to be
+      evicted again.
+    - **Skew repair** — when one node's adaptive byte footprint (or adaptive index-use count)
+      exceeds ``skew_high ×`` the alive-node mean, adaptive replicas are migrated to
+      underloaded nodes until the node is back under ``skew_low ×`` the mean.  Byte skew
+      migrates the *coldest* replicas (reclaim space without disturbing hot traffic); use
+      skew migrates the *hottest* (spread the index-scan traffic itself).  Every migration
+      must strictly reduce the hot/cold gap (``target + m ≤ source − m``), which rules out
+      ping-pong oscillation by construction.
+
+    Invariants, shared with eviction and asserted by the placement tests: replication floors
+    are never violated (rebuilds only *add* replicas; migrations add on the target before
+    removing from the source), and no placement may lift a node past the pressure policy's
+    **low** watermark — the balancer can never push a node into the pressure region that
+    would summon the evictor it runs next to.
+    """
+
+    pressure: DiskPressurePolicy = field(default_factory=DiskPressurePolicy)
+    skew_high: float = 2.0
+    skew_low: float = 1.5
+    rebuilds_per_pass: int = 2
+    migrations_per_pass: int = 4
+    #: How many jobs an attribute's demand survives without fresh activity.
+    demand_window: int = 4
+    #: attribute -> jobs of demand left (refreshed by :meth:`observe`).
+    demand: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.skew_low <= self.skew_high:
+            raise ValueError("skew watermarks must satisfy 1 <= low <= high")
+
+    # ------------------------------------------------------------------ demand tracking
+    def observe(self, observation: JobObservation) -> None:
+        """Refresh per-attribute demand from one finished job's counter slices."""
+        for attribute in list(self.demand):
+            self.demand[attribute] -= 1
+            if self.demand[attribute] <= 0:
+                del self.demand[attribute]
+        for attribute in observation.active_attributes:
+            self.demand[attribute] = self.demand_window
+
+    # ------------------------------------------------------------------ the per-job pass
+    def run(self, hdfs: "Hdfs", cost: Optional["CostModel"] = None) -> list[PlacementAction]:
+        """One bounded balancing pass: re-replicate lost coverage, then repair skew."""
+        actions = self._re_replicate(hdfs, cost)
+        actions.extend(self._repair_skew(hdfs, cost))
+        return actions
+
+    # ------------------------------------------------------------------ re-replication
+    def _re_replicate(self, hdfs: "Hdfs", cost: Optional["CostModel"]) -> list[PlacementAction]:
+        actions: list[PlacementAction] = []
+        if not self.demand:
+            return actions
+        namenode = hdfs.namenode
+        footprints = dict(namenode.adaptive_bytes_by_node())
+        quota = self.rebuilds_per_pass
+        for path in namenode.list_files():
+            for block_id in namenode.file_blocks(path):
+                if quota <= 0:
+                    return actions
+                for attribute in sorted(self.demand):
+                    if namenode.hosts_with_index(block_id, attribute, alive_only=True):
+                        continue  # coverage intact — nothing to repair
+                    if not self._coverage_lost(namenode, block_id, attribute):
+                        continue  # never built: that is adaptive indexing's job, not repair
+                    action = self._rebuild(hdfs, cost, block_id, attribute, footprints)
+                    if action is not None:
+                        actions.append(action)
+                        quota -= 1
+                    if quota <= 0:
+                        break
+        return actions
+
+    @staticmethod
+    def _coverage_lost(namenode, block_id: int, attribute: str) -> bool:
+        """Did ``(block, attribute)`` *have* an index that eviction or a node death took away?"""
+        if namenode.index_eviction(block_id, attribute) is not None:
+            return True
+        # No alive host (the caller checked); any remaining host with the index is dead.
+        return bool(namenode.hosts_with_index(block_id, attribute, alive_only=False))
+
+    def _rebuild(
+        self,
+        hdfs: "Hdfs",
+        cost: Optional["CostModel"],
+        block_id: int,
+        attribute: str,
+        footprints: dict[int, float],
+    ) -> Optional[PlacementAction]:
+        """Re-create one adaptive replica of ``block_id`` indexed on ``attribute``.
+
+        The index is rebuilt from an alive copy of the block's data (HAIL replicas share
+        logical content, so any alive HAIL payload serves as the source) and registered on
+        the least-loaded alive node without a replica of the block — the placement both
+        restores coverage *and* adds a copy, the re-replication the ROADMAP asked for.
+        ``None`` when no source payload, schema attribute, or budget-respecting target
+        exists; the next pass retries with whatever changed.
+        """
+        from repro.hail.hail_block import HailBlock
+        from repro.hail.index import HailIndex
+        from repro.hail.replica_info import HailBlockReplicaInfo
+        from repro.hdfs.block import Replica
+
+        namenode = hdfs.namenode
+        source_id, payload = self._source_payload(hdfs, block_id)
+        if payload is None:
+            return None
+        if attribute not in payload.schema.field_names:
+            return None
+        index, permutation = HailIndex.from_unsorted(
+            attribute, payload.pax.column(attribute), partition_size=payload.partition_size
+        )
+        block = HailBlock(
+            payload.pax.reorder(permutation),
+            attribute,
+            index,
+            bad_lines=payload.bad_lines,
+            partition_size=payload.partition_size,
+            logical_partition_size=payload.logical_partition_size,
+        )
+        block.pax_layout = payload.pax_layout
+        info = HailBlockReplicaInfo(
+            datanode_id=-1,  # rewritten below once the target is chosen
+            sort_attribute=attribute,
+            indexed_attribute=attribute,
+            index_size_bytes=block.index_size_bytes(),
+            block_size_bytes=block.size_bytes(),
+            num_records=block.num_records,
+            pax_layout=payload.pax_layout,
+            origin="adaptive",
+        )
+        target_id = self._choose_target(
+            hdfs, block_id, float(info.size_on_disk_bytes), footprints
+        )
+        displaced = False
+        if target_id is None:
+            # Every alive node already holds a replica: displace an *unindexed* copy in
+            # place, exactly like commit-time placement — the indexed replica replaces the
+            # plain one, the replication factor is untouched, and ``displaced_plain_replica``
+            # makes a later eviction downgrade it back instead of deleting the copy.
+            target_id = self._choose_displacement_target(
+                hdfs, block_id, float(info.size_on_disk_bytes), footprints
+            )
+            if target_id is None:
+                return None
+            displaced = True
+        self._drop_stale_adaptive(hdfs, block_id, attribute)
+        info = replace(info, datanode_id=target_id, displaced_plain_replica=displaced)
+        if displaced:
+            hdfs.datanode(target_id).delete_replica(block_id)
+        hdfs.datanode(target_id).store_replica(
+            Replica(
+                block_id=block_id,
+                datanode_id=target_id,
+                payload=block,
+                sort_attribute=attribute,
+                indexed_attribute=attribute,
+            )
+        )
+        namenode.register_replica(block_id, target_id, replica_info=info)
+        # A fresh rebuild starts its LRU life warm, exactly like a committed build would.
+        namenode.touch_index_usage(block_id, target_id)
+        footprints[target_id] = footprints.get(target_id, 0.0) + info.size_on_disk_bytes
+        seconds = self._charge_copy(hdfs, cost, source_id, target_id, payload, block, sort=True)
+        return PlacementAction(
+            kind="rebuild",
+            block_id=block_id,
+            attribute=attribute,
+            source_datanode=source_id,
+            target_datanode=target_id,
+            bytes_moved=float(info.size_on_disk_bytes),
+            seconds=seconds,
+            reason="coverage lost (evicted or host died)",
+        )
+
+    @staticmethod
+    def _source_payload(hdfs: "Hdfs", block_id: int):
+        """An alive HAIL payload of ``block_id`` to rebuild from (``(None, None)`` if none)."""
+        for host in hdfs.namenode.block_datanodes(block_id, alive_only=True):
+            payload = hdfs.datanode(host).replica(block_id).payload
+            if hasattr(payload, "pax"):
+                return host, payload
+        return None, None
+
+    @staticmethod
+    def _drop_stale_adaptive(hdfs: "Hdfs", block_id: int, attribute: str) -> None:
+        """Garbage-collect dead adaptive replicas before a rebuild (no duplicate on revival)."""
+        from repro.engine.adaptive import _drop_stale_adaptive_replicas
+
+        _drop_stale_adaptive_replicas(hdfs, block_id, attribute)
+
+    def _choose_target(
+        self,
+        hdfs: "Hdfs",
+        block_id: int,
+        replica_bytes: float,
+        footprints: dict[int, float],
+    ) -> Optional[int]:
+        """Least-loaded alive node without a replica of the block and with budget headroom."""
+        holders = set(hdfs.namenode.block_datanodes(block_id, alive_only=False))
+        candidates = [
+            node.node_id for node in hdfs.cluster.alive_nodes if node.node_id not in holders
+        ]
+        candidates.sort(key=lambda node_id: (footprints.get(node_id, 0.0), node_id))
+        for node_id in candidates:
+            if self._within_budget(footprints.get(node_id, 0.0) + replica_bytes):
+                return node_id
+        return None
+
+    def _choose_displacement_target(
+        self,
+        hdfs: "Hdfs",
+        block_id: int,
+        replica_bytes: float,
+        footprints: dict[int, float],
+    ) -> Optional[int]:
+        """Least-loaded alive holder whose replica of the block is *unindexed*.
+
+        The displacement fallback of :meth:`_rebuild` — never a host carrying an index (on
+        any attribute): replacing it would trade one index for another, the destruction
+        commit-time placement also refuses.
+        """
+        namenode = hdfs.namenode
+        candidates = []
+        for node_id in namenode.block_datanodes(block_id, alive_only=True):
+            info = namenode.replica_info(block_id, node_id)
+            if info is not None and getattr(info, "indexed_attribute", None) is not None:
+                continue
+            candidates.append(node_id)
+        candidates.sort(key=lambda node_id: (footprints.get(node_id, 0.0), node_id))
+        for node_id in candidates:
+            if self._within_budget(footprints.get(node_id, 0.0) + replica_bytes):
+                return node_id
+        return None
+
+    def _within_budget(self, projected_bytes: float) -> bool:
+        """May a placement leave a node at ``projected_bytes`` of adaptive footprint?
+
+        Placements are held to the pressure policy's **low** watermark — strictly inside the
+        hysteresis band — so the balancer can never lift a node into the region where the
+        evictor fires (the migrate/evict oscillation the invariant tests rule out).
+        """
+        if not self.pressure.enabled:
+            return True
+        return projected_bytes <= self.pressure.low_watermark * self.pressure.capacity_bytes
+
+    # ------------------------------------------------------------------ skew repair
+    def _repair_skew(self, hdfs: "Hdfs", cost: Optional["CostModel"]) -> list[PlacementAction]:
+        """Drain skewed nodes: triggered above ``skew_high × mean``, drained to ``skew_low``.
+
+        The watermark pair is real hysteresis: crossing the *high* mark starts a node's
+        draining episode, and the episode keeps migrating until the node is under the *low*
+        mark (or nothing movable is left) — so a repaired node re-enters the danger zone only
+        after growing back through the whole band, not on the next build.  Per-node
+        statistics are recomputed from the namenode before every migration, so each move acts
+        on the placement the previous one actually produced, and the strict-improvement
+        condition inside :meth:`_one_migration` guarantees termination without oscillation.
+        """
+        actions: list[PlacementAction] = []
+        quota = self.migrations_per_pass
+        for metric in ("bytes", "uses"):
+            draining: set[int] = set()
+            exhausted: set[int] = set()
+            while quota > 0:
+                stats = self._adaptive_stats(hdfs)
+                if len(stats) < 2:
+                    break
+                values = {node_id: entry[metric] for node_id, entry in stats.items()}
+                mean = sum(values.values()) / len(values)
+                if mean <= 0.0:
+                    break
+                hot_id = self._pick_hot_node(values, mean, draining, exhausted)
+                if hot_id is None:
+                    break
+                action = self._one_migration(hdfs, cost, metric, hot_id, stats, values)
+                if action is None:
+                    exhausted.add(hot_id)  # nothing movable left: never re-pick this pass
+                    continue
+                draining.add(hot_id)
+                actions.append(action)
+                quota -= 1
+        return actions
+
+    def _pick_hot_node(
+        self,
+        values: dict[int, float],
+        mean: float,
+        draining: set[int],
+        exhausted: set[int],
+    ) -> Optional[int]:
+        """The node to shed from next: over the high mark, or mid-drain and over the low mark."""
+        candidates = [
+            node_id
+            for node_id, value in values.items()
+            if node_id not in exhausted
+            and (
+                value > self.skew_high * mean
+                or (node_id in draining and value > self.skew_low * mean)
+            )
+        ]
+        if not candidates:
+            return None
+        return sorted(candidates, key=lambda node_id: (-values[node_id], node_id))[0]
+
+    def _one_migration(
+        self,
+        hdfs: "Hdfs",
+        cost: Optional["CostModel"],
+        metric: str,
+        hot_id: int,
+        stats: dict[int, dict],
+        values: dict[int, float],
+    ) -> Optional[PlacementAction]:
+        """Migrate one adaptive replica off ``hot_id``, or ``None`` when nothing qualifies.
+
+        The strict-improvement condition (``target + m ≤ source − m``) guarantees each move
+        shrinks the hot/cold spread, which is why repeated passes terminate instead of
+        oscillating.
+        """
+        replicas = stats[hot_id]["replicas"]
+        if metric == "bytes":
+            # Coldest first: reclaim space without disturbing the node's hot index traffic.
+            replicas.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        else:
+            # Hottest first: spread the index-scan traffic itself.
+            replicas.sort(key=lambda entry: (-entry[1], entry[0], entry[2]))
+        for last_tick, use_count, block_id, info in replicas:
+            moved = float(info.size_on_disk_bytes) if metric == "bytes" else float(use_count)
+            if moved <= 0.0:
+                continue
+            holders = set(hdfs.namenode.block_datanodes(block_id, alive_only=False))
+            targets = [
+                node_id
+                for node_id in values
+                if node_id not in holders and node_id != hot_id
+            ]
+            targets.sort(key=lambda node_id: (values[node_id], node_id))
+            for target_id in targets:
+                if values[target_id] + moved > values[hot_id] - moved:
+                    break  # no strict improvement possible: colder targets are exhausted
+                projected = stats[target_id]["bytes"] + info.size_on_disk_bytes
+                if not self._within_budget(projected):
+                    continue
+                seconds = self._migrate(hdfs, cost, block_id, hot_id, target_id, info)
+                return PlacementAction(
+                    kind="migrate",
+                    block_id=block_id,
+                    attribute=getattr(info, "indexed_attribute", None),
+                    source_datanode=hot_id,
+                    target_datanode=target_id,
+                    bytes_moved=float(info.size_on_disk_bytes),
+                    seconds=seconds,
+                    reason=f"{metric} skew on dn{hot_id}",
+                )
+        return None
+
+    @staticmethod
+    def _adaptive_stats(hdfs: "Hdfs") -> dict[int, dict]:
+        """Per alive node: adaptive byte footprint, adaptive index-use total, and replicas."""
+        return adaptive_placement_stats(hdfs)
+
+    def _migrate(
+        self,
+        hdfs: "Hdfs",
+        cost: Optional["CostModel"],
+        block_id: int,
+        source_id: int,
+        target_id: int,
+        info,
+    ) -> float:
+        """Move one adaptive replica, add-before-remove, LRU history travelling along."""
+        namenode = hdfs.namenode
+        source = hdfs.datanode(source_id)
+        replica = source.replica(block_id)
+        hdfs.datanode(target_id).store_replica(replace(replica, datanode_id=target_id))
+        namenode.register_replica(
+            block_id, target_id, replica_info=replace(info, datanode_id=target_id)
+        )
+        namenode.transfer_index_usage(block_id, source_id, target_id)
+        namenode.unregister_replica(block_id, source_id)
+        source.delete_replica(block_id)
+        return self._charge_copy(
+            hdfs, cost, source_id, target_id, replica.payload, replica.payload, sort=False
+        )
+
+    @staticmethod
+    def _charge_copy(
+        hdfs: "Hdfs",
+        cost: Optional["CostModel"],
+        source_id: Optional[int],
+        target_id: int,
+        payload,
+        new_block,
+        sort: bool,
+    ) -> float:
+        """Simulated seconds of one balancer copy: read, ship, (re)sort+index, flush.
+
+        Background cost accounting only — reported per action so operators can budget the
+        balancer's I/O, never charged to a job's runtime (the work is off the critical path,
+        like HDFS re-replication).
+        """
+        if cost is None or source_id is None:
+            return 0.0
+        from repro.hdfs.checksum import checksum_file_size
+
+        source_node = hdfs.cluster.node(source_id)
+        target_node = hdfs.cluster.node(target_id)
+        data_bytes = cost.scale_bytes(float(payload.data_size_bytes()))
+        seconds = cost.disk(source_node).sequential_read(data_bytes)
+        if source_id != target_id:
+            seconds += cost.network.transfer(
+                data_bytes,
+                source_node.hardware,
+                target_node.hardware,
+                hdfs.cluster.locality(source_id, target_id),
+            )
+        cpu = cost.cpu(target_node)
+        if sort:
+            logical_values = int(cost.scale_count(payload.num_records))
+            seconds += cpu.sort_block(logical_values, data_bytes)
+            seconds += cpu.build_index(logical_values)
+        write_bytes = float(new_block.size_bytes())
+        write_bytes += checksum_file_size(write_bytes)
+        seconds += cpu.checksum(cost.scale_bytes(float(new_block.size_bytes())))
+        seconds += cost.disk(target_node).sequential_write(cost.scale_bytes(write_bytes))
+        return seconds
+
+
 # --------------------------------------------------------------------------- the manager
 @dataclass
 class LifecycleReport:
@@ -372,11 +991,28 @@ class LifecycleReport:
     evicted: list[EvictionRecord] = field(default_factory=list)
     offer_rate: float = 0.0
     budget: Optional[int] = None
+    placement: list[PlacementAction] = field(default_factory=list)
+    attribute_offer_rates: dict = field(default_factory=dict)
 
     @property
     def num_evicted(self) -> int:
         """Number of adaptive replicas dropped after this job."""
         return len(self.evicted)
+
+    @property
+    def num_rebuilt(self) -> int:
+        """Adaptive replicas the placement balancer re-created after this job."""
+        return sum(1 for action in self.placement if action.kind == "rebuild")
+
+    @property
+    def num_migrated(self) -> int:
+        """Adaptive replicas the balancer's skew repair moved after this job."""
+        return sum(1 for action in self.placement if action.kind == "migrate")
+
+    @property
+    def placement_bytes_moved(self) -> float:
+        """Replica bytes the balancer re-created or moved after this job."""
+        return sum(action.bytes_moved for action in self.placement)
 
     @property
     def freed_bytes(self) -> float:
@@ -409,9 +1045,11 @@ class AdaptiveLifecycleManager:
         self,
         pressure: Optional[DiskPressurePolicy] = None,
         tuner: Optional[AdaptiveTuner] = None,
+        balancer: Optional[PlacementBalancer] = None,
     ) -> None:
         self.pressure = pressure if pressure is not None else DiskPressurePolicy()
         self.tuner = tuner
+        self.balancer = balancer
         self.reports: list[LifecycleReport] = []
 
     @classmethod
@@ -419,12 +1057,13 @@ class AdaptiveLifecycleManager:
         """Build the manager a :class:`~repro.hail.config.HailConfig` asks for (or ``None``).
 
         Returns ``None`` unless adaptive indexing plus at least one lifecycle feature
-        (eviction or auto-tuning) is enabled, so default configurations never pay for — or
-        observe — any lifecycle machinery.
+        (eviction, auto-tuning, or the placement balancer) is enabled, so default
+        configurations never pay for — or observe — any lifecycle machinery.
         """
         if not config.adaptive_indexing:
             return None
-        if not (config.adaptive_eviction or config.adaptive_auto_tune):
+        balancer_on = getattr(config, "placement_balancer", False)
+        if not (config.adaptive_eviction or config.adaptive_auto_tune or balancer_on):
             return None
         pressure = DiskPressurePolicy(
             capacity_bytes=config.adaptive_disk_capacity_bytes if config.adaptive_eviction else None,
@@ -437,8 +1076,20 @@ class AdaptiveLifecycleManager:
                 offer_rate=config.adaptive_offer_rate,
                 budget=config.adaptive_budget_per_job,
                 overhead_fraction=config.adaptive_overhead_fraction,
+                per_attribute=getattr(config, "adaptive_per_attribute_tune", False),
             )
-        return cls(pressure=pressure, tuner=tuner)
+        balancer = None
+        if balancer_on:
+            # The balancer shares the eviction budget, so its placements and the evictor's
+            # reclamations bound the same per-node adaptive footprint.
+            balancer = PlacementBalancer(
+                pressure=pressure,
+                skew_high=getattr(config, "placement_skew_high", 2.0),
+                skew_low=getattr(config, "placement_skew_low", 1.5),
+                rebuilds_per_pass=getattr(config, "placement_rebuilds_per_job", 2),
+                migrations_per_pass=getattr(config, "placement_migrations_per_job", 4),
+            )
+        return cls(pressure=pressure, tuner=tuner, balancer=balancer)
 
     # ------------------------------------------------------------------ knob views
     @property
@@ -461,16 +1112,35 @@ class AdaptiveLifecycleManager:
         return self.tuner is not None
 
     # ------------------------------------------------------------------ the per-job hook
-    def after_job(self, hdfs: "Hdfs", observation: JobObservation) -> LifecycleReport:
-        """Run the post-job lifecycle pass: feed the tuner, then relieve disk pressure."""
+    def after_job(
+        self,
+        hdfs: "Hdfs",
+        observation: JobObservation,
+        cost: Optional["CostModel"] = None,
+    ) -> LifecycleReport:
+        """Run the post-job lifecycle pass: tuner, disk pressure, then placement repair.
+
+        The balancer runs *after* eviction on purpose: it sees the holes eviction just tore
+        (and the tombstones it left) and repairs within the same job boundary, so coverage
+        gaps live for at most one job.  ``cost`` (the runner's cost model) only prices the
+        balancer's background I/O for reporting; it never changes what the balancer does.
+        """
         if self.tuner is not None:
             self.tuner.observe(observation)
         evicted = evict_under_pressure(hdfs, self.pressure)
+        placement: list[PlacementAction] = []
+        if self.balancer is not None:
+            self.balancer.observe(observation)
+            placement = self.balancer.run(hdfs, cost)
         report = LifecycleReport(
             observation=observation,
             evicted=evicted,
             offer_rate=self.tuner.offer_rate if self.tuner is not None else 0.0,
             budget=self.tuner.budget if self.tuner is not None else None,
+            placement=placement,
+            attribute_offer_rates=(
+                self.tuner.attribute_rates() if self.tuner is not None else {}
+            ),
         )
         self.reports.append(report)
         if len(self.reports) > self.MAX_REPORTS:

@@ -17,6 +17,8 @@ Overview (see DESIGN.md for the full per-experiment index):
 - :mod:`repro.experiments.adaptive`   — LIAH-style adaptive-indexing convergence (extension)
 - :mod:`repro.experiments.adaptive_lifecycle` — lifecycle-managed adaptivity under disk
   pressure: eviction + auto-tuned knobs through a workload shift (extension)
+- :mod:`repro.experiments.placement`  — index-local task fraction through node loss and
+  eviction storms, placement balancer on vs. off (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
@@ -28,6 +30,7 @@ from repro.experiments import (
     adaptive,
     adaptive_lifecycle,
     failover,
+    placement,
     queries,
     scaleout,
     scaleup,
@@ -46,6 +49,7 @@ __all__ = [
     "adaptive",
     "adaptive_lifecycle",
     "failover",
+    "placement",
     "queries",
     "scaleout",
     "scaleup",

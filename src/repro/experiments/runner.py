@@ -16,6 +16,7 @@ from repro.experiments import (
     adaptive,
     adaptive_lifecycle,
     failover,
+    placement,
     queries,
     scaleout,
     scaleup,
@@ -55,6 +56,7 @@ def run_all(
     run("fig8", lambda: failover.fig8(config))
     run("adaptive", lambda: adaptive.adaptive_convergence(config))
     run("adaptive_lifecycle", lambda: adaptive_lifecycle.adaptive_lifecycle_curve(config))
+    run("placement", lambda: placement.placement_recovery_curve(config))
 
     if progress is not None:
         progress("fig9")

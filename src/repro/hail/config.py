@@ -87,6 +87,28 @@ class HailConfig:
         Multi-attribute convergence: when a block is already answered via an index on one of
         the query's filter attributes, offer a piggyback build on the next *uncovered* filter
         attribute, so workloads with mixed predicates converge to multi-index coverage.
+    adaptive_per_attribute_tune:
+        Split the auto-tuner's single global payback ledger into per-attribute ledgers
+        (:class:`~repro.engine.lifecycle.AttributeLedger`): each filter attribute earns its
+        own offer rate from its own cost/benefit slice, so offers are steered toward the
+        attributes actually saving scan seconds.  Requires ``adaptive_auto_tune``.
+    index_aware_scheduling:
+        Three-tier map-task scheduling (:class:`~repro.mapreduce.job_tracker.SchedulingPolicy`):
+        a free slot prefers a task with an *indexed* replica of its split on that node, then a
+        plain data-local task, then the queue head — with every launch classified into the
+        ``SCHED_INDEX_LOCAL`` / ``SCHED_PLAIN_LOCAL`` / ``SCHED_REMOTE`` counters.
+    placement_balancer:
+        Run the :class:`~repro.engine.lifecycle.PlacementBalancer` after every job:
+        re-create adaptive replicas whose index coverage was lost to eviction or a node
+        death (for attributes with recent demand), and migrate adaptive replicas off nodes
+        whose adaptive-byte or index-use footprint exceeds the skew watermarks.
+    placement_skew_high / placement_skew_low:
+        Skew trigger and drain target, as multiples of the alive-node mean: a node above
+        ``high × mean`` sheds adaptive replicas until back under ``low × mean``
+        (hysteresis, like the disk watermarks).
+    placement_rebuilds_per_job / placement_migrations_per_job:
+        Per-job work bounds of the balancer — how many re-replications and migrations one
+        post-job pass may perform (background work is budgeted, never bursty).
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -106,6 +128,13 @@ class HailConfig:
     adaptive_auto_tune: bool = False
     adaptive_overhead_fraction: float = 0.25
     adaptive_multi_attribute: bool = False
+    adaptive_per_attribute_tune: bool = False
+    index_aware_scheduling: bool = False
+    placement_balancer: bool = False
+    placement_skew_high: float = 2.0
+    placement_skew_low: float = 1.5
+    placement_rebuilds_per_job: int = 2
+    placement_migrations_per_job: int = 4
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -132,6 +161,15 @@ class HailConfig:
         )
         if not 0.0 < self.adaptive_overhead_fraction <= 1.0:
             raise ValueError("adaptive_overhead_fraction must lie in (0, 1]")
+        if self.adaptive_per_attribute_tune and not self.adaptive_auto_tune:
+            raise ValueError(
+                "adaptive_per_attribute_tune splits the auto-tuner's ledger; "
+                "enable adaptive_auto_tune as well"
+            )
+        if not 1.0 <= self.placement_skew_low <= self.placement_skew_high:
+            raise ValueError("placement skew watermarks must satisfy 1 <= low <= high")
+        if self.placement_rebuilds_per_job < 0 or self.placement_migrations_per_job < 0:
+            raise ValueError("placement per-job work bounds must be non-negative")
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -191,6 +229,7 @@ class HailConfig:
         auto_tune: Optional[bool] = None,
         overhead_fraction: Optional[float] = None,
         multi_attribute: Optional[bool] = None,
+        per_attribute_tune: Optional[bool] = None,
     ) -> "HailConfig":
         """Copy of this configuration with adaptive-lifecycle knobs toggled/tuned.
 
@@ -212,6 +251,38 @@ class HailConfig:
             overrides["adaptive_overhead_fraction"] = overhead_fraction
         if multi_attribute is not None:
             overrides["adaptive_multi_attribute"] = multi_attribute
+        if per_attribute_tune is not None:
+            overrides["adaptive_per_attribute_tune"] = per_attribute_tune
+        return replace(self, **overrides)
+
+    def with_placement(
+        self,
+        scheduling: Optional[bool] = None,
+        balancer: Optional[bool] = None,
+        skew_high: Optional[float] = None,
+        skew_low: Optional[float] = None,
+        rebuilds_per_job: Optional[int] = None,
+        migrations_per_job: Optional[int] = None,
+    ) -> "HailConfig":
+        """Copy of this configuration with placement-layer knobs toggled/tuned.
+
+        ``scheduling`` toggles index-aware task scheduling, ``balancer`` the post-job
+        re-replication/skew-repair pass; the remaining arguments tune the balancer's
+        watermarks and per-job work bounds.  Only the arguments given are changed.
+        """
+        overrides: dict = {}
+        if scheduling is not None:
+            overrides["index_aware_scheduling"] = scheduling
+        if balancer is not None:
+            overrides["placement_balancer"] = balancer
+        if skew_high is not None:
+            overrides["placement_skew_high"] = skew_high
+        if skew_low is not None:
+            overrides["placement_skew_low"] = skew_low
+        if rebuilds_per_job is not None:
+            overrides["placement_rebuilds_per_job"] = rebuilds_per_job
+        if migrations_per_job is not None:
+            overrides["placement_migrations_per_job"] = migrations_per_job
         return replace(self, **overrides)
 
     def with_replication(self, replication: int) -> "HailConfig":

@@ -41,6 +41,7 @@ class HailInputFormat(InputFormat):
 
     # ------------------------------------------------------------------ splits
     def get_splits(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel) -> list[InputSplit]:
+        """Compute the job's input splits (HailSplitting or one-per-block, index-routed)."""
         self._prepare_adaptive_context(jobconf)
         locations = hdfs.namenode.block_locations(jobconf.input_path, alive_only=True)
         if not locations:
@@ -56,11 +57,41 @@ class HailInputFormat(InputFormat):
             if block_plan.uses_index:
                 choice = (block_plan.datanode_id, block_plan.attribute)
             block_choices[block_plan.block_id] = choice
+        index_hosts = self._index_hosts(hdfs, locations, filter_attributes)
 
         index_scan_possible = any(choice is not None for choice in block_choices.values())
         if self.config.splitting_policy and filter_attributes and index_scan_possible:
-            return self._hail_splitting(hdfs, jobconf, cost, locations, block_choices)
-        return self._default_splitting(jobconf, locations, block_choices)
+            return self._hail_splitting(
+                hdfs, jobconf, cost, locations, block_choices, index_hosts
+            )
+        return self._default_splitting(jobconf, locations, block_choices, index_hosts)
+
+    @staticmethod
+    def _index_hosts(
+        hdfs: Hdfs, locations, filter_attributes: tuple[str, ...]
+    ) -> dict[int, tuple[int, ...]]:
+        """Per block: every alive datanode indexed on *any* of the query's filter attributes.
+
+        This is the scheduler-facing superset of the planner's single replica choice — the
+        index-aware JobTracker can place a task well on any of these nodes, so splits carry
+        all of them (``InputSplit.index_locations``), not just the replica the reader will
+        prefer to open.
+        """
+        if not filter_attributes:
+            return {}
+        namenode = hdfs.namenode
+        hosts_by_block: dict[int, tuple[int, ...]] = {}
+        for location in locations:
+            hosts: list[int] = []
+            for attribute in filter_attributes:
+                for host in namenode.hosts_with_index(
+                    location.block_id, attribute, alive_only=True
+                ):
+                    if host not in hosts:
+                        hosts.append(host)
+            if hosts:
+                hosts_by_block[location.block_id] = tuple(hosts)
+        return hosts_by_block
 
     def create_record_reader(
         self,
@@ -70,6 +101,7 @@ class HailInputFormat(InputFormat):
         cost: CostModel,
         node_id: int,
     ) -> RecordReader:
+        """A :class:`~repro.hail.record_reader.HailRecordReader` over ``split`` on ``node_id``."""
         return HailRecordReader(split, hdfs, cost, node_id, jobconf)
 
     def split_phase_cost(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel, num_blocks: int) -> float:
@@ -101,8 +133,10 @@ class HailInputFormat(InputFormat):
         jobconf: JobConf,
         locations,
         block_choices: dict[int, Optional[tuple[int, str]]],
+        index_hosts: Optional[dict[int, tuple[int, ...]]] = None,
     ) -> list[InputSplit]:
         """One split per block; indexed replicas still steer locations and replica choice."""
+        index_hosts = index_hosts or {}
         splits = []
         for i, location in enumerate(locations):
             choice = block_choices.get(location.block_id)
@@ -123,6 +157,7 @@ class HailInputFormat(InputFormat):
                     locations=tuple(hosts),
                     length_bytes=location.length_bytes,
                     preferred_replicas=preferred,
+                    index_locations=index_hosts.get(location.block_id, ()),
                 )
             )
         return splits
@@ -134,8 +169,10 @@ class HailInputFormat(InputFormat):
         cost: CostModel,
         locations,
         block_choices: dict[int, Optional[tuple[int, str]]],
+        index_hosts: Optional[dict[int, tuple[int, ...]]] = None,
     ) -> list[InputSplit]:
         """Cluster blocks by indexed datanode; emit ``map_slots`` splits per datanode group."""
+        index_hosts = index_hosts or {}
         groups: dict[int, list] = defaultdict(list)
         for location in locations:
             choice = block_choices.get(location.block_id)
@@ -161,11 +198,15 @@ class HailInputFormat(InputFormat):
                 if not bucket:
                     continue
                 preferred = {}
+                bucket_index_hosts: list[int] = []
                 for location in bucket:
                     choice = block_choices.get(location.block_id)
                     preferred[location.block_id] = (
                         choice[0] if choice is not None else datanode_id
                     )
+                    for host in index_hosts.get(location.block_id, ()):
+                        if host not in bucket_index_hosts:
+                            bucket_index_hosts.append(host)
                 splits.append(
                     InputSplit(
                         split_id=split_id,
@@ -174,6 +215,7 @@ class HailInputFormat(InputFormat):
                         locations=(datanode_id,) if datanode_id >= 0 else (),
                         length_bytes=sum(location.length_bytes for location in bucket),
                         preferred_replicas=preferred,
+                        index_locations=tuple(bucket_index_hosts),
                     )
                 )
                 split_id += 1

@@ -57,6 +57,13 @@ class HailRecordReader(RecordReader):
         #: and the measured scan savings those uses realised (executor counterfactuals).
         self.adaptive_index_uses = 0
         self.adaptive_saved_seconds = 0.0
+        #: Per-attribute slices of the telemetry above plus the scan fallbacks (fallbacks are
+        #: attributed to the query's *first* filter attribute — the same attribute an adaptive
+        #: build of the block would target).  Feed the split tuner ledgers and the placement
+        #: balancer's demand tracking.
+        self.adaptive_uses_by_attribute: dict[str, int] = {}
+        self.adaptive_saved_by_attribute: dict[str, float] = {}
+        self.fallbacks_by_attribute: dict[str, int] = {}
 
     # ------------------------------------------------------------------ iteration
     def __iter__(self) -> Iterator[tuple]:
@@ -77,11 +84,25 @@ class HailRecordReader(RecordReader):
             if scan.used_adaptive_index:
                 self.adaptive_index_uses += 1
                 self.adaptive_saved_seconds += scan.saved_seconds
+                attribute = scan.plan.attribute
+                if attribute is not None:
+                    self.adaptive_uses_by_attribute[attribute] = (
+                        self.adaptive_uses_by_attribute.get(attribute, 0) + 1
+                    )
+                    self.adaptive_saved_by_attribute[attribute] = (
+                        self.adaptive_saved_by_attribute.get(attribute, 0.0)
+                        + scan.saved_seconds
+                    )
             if scan.used_index:
                 self.index_scans += 1
                 self.used_index = True
             else:
                 self.full_scans += 1
+                attribute = self._first_filter_attribute(scan.schema)
+                if attribute is not None:
+                    self.fallbacks_by_attribute[attribute] = (
+                        self.fallbacks_by_attribute.get(attribute, 0) + 1
+                    )
 
             for row_id, values in zip(scan.rows, scan.projected):
                 self.records_emitted += 1
@@ -90,3 +111,15 @@ class HailRecordReader(RecordReader):
             for line in scan.bad_lines:
                 self.records_emitted += 1
                 yield -1, HailRecord(scan.schema, (), positions=(), bad=True, raw_line=line)
+
+    def _first_filter_attribute(self, schema) -> Optional[str]:
+        """The query's first filter attribute (fallback attribution), or ``None`` for scans."""
+        if not hasattr(self, "_filter_attribute"):
+            attribute = None
+            if self.annotation is not None and self.annotation.filter is not None:
+                predicate = self.annotation.bound_filter(schema)
+                if predicate is not None:
+                    attributes = predicate.attributes(schema)
+                    attribute = attributes[0] if attributes else None
+            self._filter_attribute = attribute
+        return self._filter_attribute

@@ -22,14 +22,23 @@ from repro.engine.adaptive import commit_adaptive_builds  # noqa: F401  (re-expo
 from repro.engine.planner import choose_indexed_host  # noqa: F401  (re-export)
 from repro.hdfs.filesystem import Hdfs
 from repro.hdfs.namenode import NameNode
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job_tracker import (  # noqa: F401  (re-export)
+    SCHEDULING_PROPERTY,
+    SchedulingPolicy,
+)
 
 __all__ = [
     "choose_indexed_host",
     "commit_adaptive_builds",
+    "SchedulingPolicy",
+    "SCHEDULING_PROPERTY",
     "index_coverage",
     "replica_distribution",
     "adaptive_replica_count",
     "adaptive_replica_bytes",
+    "adaptive_placement_by_node",
+    "index_local_task_fraction",
     "check_dir_rep_consistency",
 ]
 
@@ -85,6 +94,48 @@ def adaptive_replica_bytes(namenode: NameNode, path: str) -> int:
             if info is not None and info.is_adaptive:
                 total += info.size_on_disk_bytes
     return total
+
+
+def adaptive_placement_by_node(hdfs: Hdfs) -> dict[int, dict]:
+    """Per alive node: adaptive replica count, byte footprint, and index-use total.
+
+    This is the namenode-side placement statistic the :class:`~repro.engine.lifecycle.PlacementBalancer`
+    rebalances on — the same walk (:func:`repro.engine.lifecycle.adaptive_placement_stats`)
+    summarised for experiments and dashboards: a healthy deployment shows the adaptive bytes
+    and uses spread across nodes, a skewed one shows them piling up on a few.
+    """
+    from repro.engine.lifecycle import adaptive_placement_stats
+
+    return {
+        node_id: {
+            "replicas": len(entry["replicas"]),
+            "bytes": int(entry["bytes"]),
+            "uses": int(entry["uses"]),
+        }
+        for node_id, entry in adaptive_placement_stats(hdfs).items()
+    }
+
+
+def index_local_task_fraction(counters) -> float:
+    """Fraction of scheduled map tasks that ran on a node holding a covering index.
+
+    Computed from the ``SCHED_*`` scheduling-tier counters — ``counters`` may be a
+    :class:`~repro.mapreduce.counters.Counters` bag or a plain counter mapping (the session
+    statistics snapshot).  Only meaningful for jobs (or session totals) run with
+    ``index_aware_scheduling`` on; 0.0 when no classified launches were recorded.  This is
+    the steady-state metric the placement experiment tracks through failures and eviction
+    storms.
+    """
+    values = counters.as_dict() if isinstance(counters, Counters) else counters
+    index_local = values.get(Counters.SCHED_INDEX_LOCAL, 0.0)
+    total = (
+        index_local
+        + values.get(Counters.SCHED_PLAIN_LOCAL, 0.0)
+        + values.get(Counters.SCHED_REMOTE, 0.0)
+    )
+    if total <= 0:
+        return 0.0
+    return index_local / total
 
 
 def check_dir_rep_consistency(hdfs: Hdfs, path: str) -> list[str]:

@@ -20,6 +20,7 @@ from repro.hail.scheduler import (
 from repro.hail.upload import HailUploadPipeline
 from repro.layouts.schema import Schema
 from repro.mapreduce.job import JobConf
+from repro.mapreduce.job_tracker import SCHEDULING_PROPERTY, SchedulingPolicy
 from repro.systems.base import BaseSystem
 
 
@@ -91,6 +92,8 @@ class HailSystem(BaseSystem):
             input_format=HailInputFormat(self.config),
         )
         jobconf.properties[JOB_PROPERTY] = annotation
+        if self.config.index_aware_scheduling:
+            jobconf.properties[SCHEDULING_PROPERTY] = SchedulingPolicy()
         if self.config.adaptive_indexing:
             context = AdaptiveJobContext.from_config(self.config, salt=self._adaptive_salt)
             if self.lifecycle is not None:
@@ -100,6 +103,10 @@ class HailSystem(BaseSystem):
                     context.offer_rate = self.lifecycle.offer_rate
                     context.budget = self.lifecycle.budget
                     context.measure_savings = True
+                    if self.lifecycle.tuner.per_attribute:
+                        # Snapshot of the split ledgers' live per-attribute rates; unseen
+                        # attributes keep falling back to the scalar rate above.
+                        context.attribute_offer_rates = self.lifecycle.tuner.attribute_rates()
                 jobconf.properties[LIFECYCLE_PROPERTY] = self.lifecycle
             jobconf.properties[ADAPTIVE_PROPERTY] = context
             self._adaptive_salt += 1

@@ -237,6 +237,17 @@ class NameNode:
             return (0, 0)
         return (entry[0], entry[1])
 
+    def transfer_index_usage(self, block_id: int, from_datanode: int, to_datanode: int) -> None:
+        """Move one replica's usage statistics to another datanode (placement migration).
+
+        The placement balancer migrates adaptive replicas between nodes; carrying the LRU
+        history along keeps a *hot* migrated replica from looking brand-new cold on its new
+        host and being the next thing disk-pressure eviction reclaims (migrate→evict thrash).
+        """
+        entry = self._index_usage.pop((block_id, from_datanode), None)
+        if entry is not None:
+            self._index_usage[(block_id, to_datanode)] = entry
+
     def reset_index_usage(self, block_id: int, datanode_id: int) -> None:
         """Forget one replica's usage statistics (its index was reclaimed).
 

@@ -3,7 +3,22 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping
+
+
+def attribute_slices(values: Mapping[str, float], base: str) -> Dict[str, float]:
+    """Per-attribute slices of counter ``base`` in any counter mapping, keyed by attribute.
+
+    The one place the ``"BASE[attr]"`` naming scheme (see :meth:`Counters.per_attribute`) is
+    parsed — shared by :meth:`Counters.by_attribute` and the session-statistics snapshot, so
+    the two can never drift apart.
+    """
+    prefix = base + "["
+    return {
+        name[len(prefix) : -1]: amount
+        for name, amount in values.items()
+        if name.startswith(prefix) and name.endswith("]")
+    }
 
 
 class Counters:
@@ -34,6 +49,30 @@ class Counters:
     #: Bytes that left the per-node adaptive byte budgets (budget accounting — downgraded
     #: replicas keep their plain copy on disk, so physical reclamation can be smaller).
     ADAPTIVE_BYTES_EVICTED = "ADAPTIVE_BYTES_EVICTED"
+    #: Index-aware scheduling tiers (only tracked when a ``SchedulingPolicy`` is installed):
+    #: tasks launched on a node holding an index covering the query's filter attribute, ...
+    SCHED_INDEX_LOCAL = "SCHED_INDEX_LOCAL"
+    #: ... on a node holding a plain replica of one of the split's blocks, ...
+    SCHED_PLAIN_LOCAL = "SCHED_PLAIN_LOCAL"
+    #: ... or on a node holding neither (every block of the split is read remotely).
+    SCHED_REMOTE = "SCHED_REMOTE"
+    #: Adaptive replicas re-created by the placement balancer (evicted/lost coverage repaired).
+    PLACEMENT_REREPLICATED = "PLACEMENT_REREPLICATED"
+    #: Adaptive replicas migrated off hot nodes by the balancer's skew repair.
+    PLACEMENT_MIGRATED = "PLACEMENT_MIGRATED"
+    #: Replica bytes the balancer moved or re-created (rebuilds + migrations).
+    PLACEMENT_BYTES_MOVED = "PLACEMENT_BYTES_MOVED"
+
+    @staticmethod
+    def per_attribute(base: str, attribute: str) -> str:
+        """Name of the per-attribute slice of a counter (``"ADAPTIVE_INDEX_USES[f1]"``).
+
+        The adaptive counters with per-attribute breakdowns (builds, build seconds, uses,
+        saved seconds, fallbacks) are incremented twice: once under ``base`` (the job total
+        the existing consumers read) and once under this per-attribute name, which is what
+        feeds the per-attribute tuner ledgers and ``session.stats()``.
+        """
+        return f"{base}[{attribute}]"
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = defaultdict(float)
@@ -45,6 +84,10 @@ class Counters:
     def value(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
         return self._values.get(name, 0)
+
+    def by_attribute(self, base: str) -> Dict[str, float]:
+        """Per-attribute slices of ``base`` (see :meth:`per_attribute`), keyed by attribute."""
+        return attribute_slices(self._values, base)
 
     def merge(self, other: "Counters") -> None:
         """Accumulate another counter bag into this one."""

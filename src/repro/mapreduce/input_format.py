@@ -48,6 +48,7 @@ class TextInputFormat(InputFormat):
     """Stock Hadoop input format: one split per block, full-scan text record reader."""
 
     def get_splits(self, hdfs: Hdfs, jobconf: JobConf, cost: CostModel) -> list[InputSplit]:
+        """One split per HDFS block, located at the block's alive replica hosts."""
         locations = hdfs.namenode.block_locations(jobconf.input_path, alive_only=True)
         splits = []
         for i, location in enumerate(locations):
@@ -70,4 +71,5 @@ class TextInputFormat(InputFormat):
         cost: CostModel,
         node_id: int,
     ) -> RecordReader:
+        """A full-scan :class:`~repro.mapreduce.record_reader.TextRecordReader` over ``split``."""
         return TextRecordReader(split, hdfs, cost, node_id)

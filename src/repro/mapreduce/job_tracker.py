@@ -31,6 +31,26 @@ from repro.mapreduce.task_tracker import TaskTracker
 #: How many queued tasks the scheduler inspects when looking for a node-local task.
 _LOCALITY_SEARCH_WINDOW = 256
 
+#: Key under which a job's :class:`SchedulingPolicy` travels in ``JobConf.properties``
+#: (installed by ``HailSystem`` when ``HailConfig.index_aware_scheduling`` is on).
+SCHEDULING_PROPERTY = "hail.scheduling"
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """How the JobTracker matches queued tasks to free slots (Section 4.3 extension).
+
+    Without a policy the scheduler reproduces stock Hadoop: prefer a task whose split is
+    *data-local* to the free slot, otherwise take the queue head.  With ``index_aware`` the
+    preference becomes three-tiered — a task whose split has an **indexed** replica on the
+    slot's node (``InputSplit.index_locations``) beats a merely data-local task, which beats a
+    remote assignment — and every launch is classified into the ``SCHED_INDEX_LOCAL`` /
+    ``SCHED_PLAIN_LOCAL`` / ``SCHED_REMOTE`` counters so operators can read the achieved
+    index locality off ``session.stats()``.
+    """
+
+    index_aware: bool = True
+
 
 @dataclass
 class ScheduledTask:
@@ -113,6 +133,9 @@ class JobTracker:
         ]
         if not slots:
             raise RuntimeError("no alive TaskTracker slots available")
+        policy: Optional[SchedulingPolicy] = (
+            tasks[0].jobconf.properties.get(SCHEDULING_PROPERTY) if tasks else None
+        )
         queue: Deque[_QueuedTask] = deque(_QueuedTask(task) for task in tasks)
         scheduled: list[ScheduledTask] = []
         lost: list[ScheduledTask] = []
@@ -124,7 +147,7 @@ class JobTracker:
             slot = self._next_slot(slots)
             if slot is None:
                 raise RuntimeError("scheduler ran out of usable slots with tasks still queued")
-            queued = self._pick_task(queue, slot)
+            queued = self._pick_task(queue, slot, policy)
             start = max(slot.available_s, queued.not_before_s)
 
             if not failure_handled and kill_time_s is not None and start >= kill_time_s:
@@ -143,6 +166,7 @@ class JobTracker:
             finish = start + duration
             slot.available_s = finish
             counters.increment(Counters.LAUNCHED_MAP_TASKS)
+            self._count_assignment(policy, counters, queued.task.split, slot.node_id)
             scheduled.append(
                 ScheduledTask(
                     task=queued.task,
@@ -166,13 +190,14 @@ class JobTracker:
                 slot = self._next_slot(slots)
                 if slot is None:
                     raise RuntimeError("no usable slots left to re-execute lost tasks")
-                queued = self._pick_task(queue, slot)
+                queued = self._pick_task(queue, slot, policy)
                 start = max(slot.available_s, queued.not_before_s)
                 result = queued.task.run(self.hdfs, self.cost, slot.node_id, counters)
                 duration = self.cost.task_overhead() + result.compute_seconds
                 finish = start + duration
                 slot.available_s = finish
                 counters.increment(Counters.LAUNCHED_MAP_TASKS)
+                self._count_assignment(policy, counters, queued.task.split, slot.node_id)
                 scheduled.append(
                     ScheduledTask(
                         task=queued.task,
@@ -202,8 +227,23 @@ class JobTracker:
         return min(usable, key=lambda slot: slot.available_s)
 
     @staticmethod
-    def _pick_task(queue: Deque[_QueuedTask], slot: _Slot) -> _QueuedTask:
-        """Prefer a task whose split is local to the slot's node (data-locality scheduling)."""
+    def _pick_task(
+        queue: Deque[_QueuedTask], slot: _Slot, policy: Optional[SchedulingPolicy] = None
+    ) -> _QueuedTask:
+        """Prefer a task whose split is local to the slot's node (data-locality scheduling).
+
+        Under an index-aware :class:`SchedulingPolicy` the search is three-tiered: first a
+        task with an *indexed* replica on the slot's node, then a plain data-local task, then
+        the queue head (a remote assignment).  Both passes share the same bounded search
+        window stock Hadoop's locality search uses.
+        """
+        if policy is not None and policy.index_aware:
+            for position, queued in enumerate(queue):
+                if position >= _LOCALITY_SEARCH_WINDOW:
+                    break
+                if slot.node_id in queued.task.split.index_locations:
+                    del queue[position]
+                    return queued
         for position, queued in enumerate(queue):
             if position >= _LOCALITY_SEARCH_WINDOW:
                 break
@@ -211,6 +251,26 @@ class JobTracker:
                 del queue[position]
                 return queued
         return queue.popleft()
+
+    @staticmethod
+    def _count_assignment(
+        policy: Optional[SchedulingPolicy], counters: Counters, split, node_id: int
+    ) -> None:
+        """Classify one launch into the scheduling-tier counters (policy-gated).
+
+        Only recorded when a :class:`SchedulingPolicy` is installed, so stock jobs (and the
+        pinned Figure 6/7 golden runs) observe no new counters.  Classification looks at the
+        *achieved* placement, not at how the task was picked: a task that reached its indexed
+        node via the plain-locality pass still counts as ``SCHED_INDEX_LOCAL``.
+        """
+        if policy is None:
+            return
+        if node_id in split.index_locations:
+            counters.increment(Counters.SCHED_INDEX_LOCAL)
+        elif node_id in split.locations:
+            counters.increment(Counters.SCHED_PLAIN_LOCAL)
+        else:
+            counters.increment(Counters.SCHED_REMOTE)
 
     def _apply_failure(
         self,

@@ -149,6 +149,15 @@ class MapReduceRunner:
         if report.num_committed:
             counters.increment(Counters.ADAPTIVE_INDEXES_COMMITTED, report.num_committed)
             counters.increment(Counters.ADAPTIVE_BUILD_SECONDS, report.total_build_seconds)
+            for build in report.committed:
+                # Per-attribute slices: what the split tuner ledgers steer the offer rates by.
+                counters.increment(
+                    Counters.per_attribute(Counters.ADAPTIVE_INDEXES_COMMITTED, build.attribute)
+                )
+                counters.increment(
+                    Counters.per_attribute(Counters.ADAPTIVE_BUILD_SECONDS, build.attribute),
+                    build.build_seconds,
+                )
 
     @staticmethod
     def _set_usage_recording(jobconf: JobConf, record: bool) -> None:
@@ -177,7 +186,11 @@ class MapReduceRunner:
         if manager is None:
             return
         observation = JobObservation.from_counters(counters, total_rr_s)
-        report = manager.after_job(self.hdfs, observation)
+        report = manager.after_job(self.hdfs, observation, cost=self.cost)
         if report.num_evicted:
             counters.increment(Counters.ADAPTIVE_INDEXES_EVICTED, report.num_evicted)
             counters.increment(Counters.ADAPTIVE_BYTES_EVICTED, report.freed_bytes)
+        if report.placement:
+            counters.increment(Counters.PLACEMENT_REREPLICATED, report.num_rebuilt)
+            counters.increment(Counters.PLACEMENT_MIGRATED, report.num_migrated)
+            counters.increment(Counters.PLACEMENT_BYTES_MOVED, report.placement_bytes_moved)

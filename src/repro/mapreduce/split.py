@@ -32,6 +32,11 @@ class InputSplit:
     preferred_replicas:
         Optional map ``block_id -> datanode_id`` naming the replica the record reader should
         open for each block (HAIL's ``getHostsWithIndex`` decision).
+    index_locations:
+        Datanodes holding, for at least one block of the split, a replica whose clustered
+        index covers one of the job's filter attributes.  Empty for scan jobs and for input
+        formats that do not compute it; the index-aware scheduler (``SchedulingPolicy``)
+        prefers these nodes over plain data locality.
     """
 
     split_id: int
@@ -40,6 +45,7 @@ class InputSplit:
     locations: tuple[int, ...]
     length_bytes: int = 0
     preferred_replicas: dict = field(default_factory=dict, hash=False, compare=False)
+    index_locations: tuple[int, ...] = ()
 
     @property
     def num_blocks(self) -> int:

@@ -71,9 +71,21 @@ class MapTask:
             counters.increment(
                 Counters.ADAPTIVE_SAVED_SECONDS, getattr(reader, "adaptive_saved_seconds", 0.0)
             )
+            for attribute, count in getattr(reader, "adaptive_uses_by_attribute", {}).items():
+                counters.increment(
+                    Counters.per_attribute(Counters.ADAPTIVE_INDEX_USES, attribute), count
+                )
+            for attribute, saved in getattr(reader, "adaptive_saved_by_attribute", {}).items():
+                counters.increment(
+                    Counters.per_attribute(Counters.ADAPTIVE_SAVED_SECONDS, attribute), saved
+                )
         fallback_blocks = getattr(reader, "full_scans", 0)
         if fallback_blocks:
             counters.increment(Counters.SCAN_FALLBACK_BLOCKS, fallback_blocks)
+            for attribute, count in getattr(reader, "fallbacks_by_attribute", {}).items():
+                counters.increment(
+                    Counters.per_attribute(Counters.SCAN_FALLBACK_BLOCKS, attribute), count
+                )
         # The map function body itself (emitting projected values) is a tiny constant per record.
         map_function_s = 2.0e-8 * reader.records_emitted * cost.params.data_scale
         return MapTaskResult(

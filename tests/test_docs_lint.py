@@ -64,6 +64,19 @@ def test_link_checker_flags_broken_relative_links(tmp_path):
     assert len(problems) == 1 and "missing.md" in problems[0]
 
 
+def test_required_documents_checker_reports_missing_guides(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "present.md").write_text("# here\n")
+    problems = lint_docs.check_required_documents(
+        tmp_path, ("docs/present.md", "docs/absent.md")
+    )
+    assert problems == ["docs/absent.md: required operator guide does not exist"]
+
+
+def test_every_required_guide_exists_in_this_repository():
+    assert lint_docs.check_required_documents(REPO_ROOT) == []
+
+
 def test_link_checker_resolves_links_relative_to_the_document(tmp_path):
     (tmp_path / "docs").mkdir()
     (tmp_path / "README.md").write_text("readme\n")

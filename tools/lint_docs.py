@@ -9,7 +9,9 @@ operator documentation cannot rot silently:
   regressions fail fast while generated/private helpers stay exempt;
 - **link check** — every relative markdown link in the checked documents must point at an
   existing file or directory (external ``http(s)``/``mailto`` targets and pure in-page
-  anchors are skipped — CI must not depend on network access).
+  anchors are skipped — CI must not depend on network access);
+- **required guides** — the operator guides the documentation map (``docs/index.md``) names
+  must exist, so a renamed or deleted guide fails loudly.
 
 Usage::
 
@@ -28,10 +30,23 @@ DOCSTRING_FLOORS: dict[str, float] = {
     "src/repro/engine": 0.95,
     # The declarative client layer is the user-facing surface: hold it to the same bar.
     "src/repro/api": 0.95,
+    # The placement layer (scheduler/runner and the cluster models it budgets against) is
+    # operator-facing through docs/scheduling.md: its modules must stay documented too.
+    "src/repro/cluster": 0.95,
+    "src/repro/mapreduce": 0.95,
 }
 
 #: Markdown documents whose relative links are checked.
 LINKED_DOCUMENTS: tuple[str, ...] = ("README.md", "docs")
+
+#: Operator guides that must exist (the docs/index.md map and CI both rely on them); a
+#: deleted or renamed guide fails the lint instead of silently 404-ing from the map.
+REQUIRED_DOCUMENTS: tuple[str, ...] = (
+    "docs/index.md",
+    "docs/api.md",
+    "docs/adaptive-indexing.md",
+    "docs/scheduling.md",
+)
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
@@ -124,10 +139,25 @@ def check_links(repo_root: Path, documents: tuple[str, ...] = LINKED_DOCUMENTS) 
     return problems
 
 
+def check_required_documents(
+    repo_root: Path, documents: tuple[str, ...] = REQUIRED_DOCUMENTS
+) -> list[str]:
+    """Operator guides that are missing from the repository (empty when all exist)."""
+    return [
+        f"{relative}: required operator guide does not exist"
+        for relative in documents
+        if not (repo_root / relative).is_file()
+    ]
+
+
 # --------------------------------------------------------------------------- entry point
 def run(repo_root: Path) -> list[str]:
     """All lint problems for the repository (empty when clean)."""
-    return check_docstrings(repo_root, DOCSTRING_FLOORS) + check_links(repo_root)
+    return (
+        check_docstrings(repo_root, DOCSTRING_FLOORS)
+        + check_links(repo_root)
+        + check_required_documents(repo_root)
+    )
 
 
 def main() -> int:
