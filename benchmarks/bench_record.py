@@ -1,0 +1,289 @@
+"""Record the engine's filter/scan/skip performance trajectory into a ``BENCH_*.json``.
+
+Runnable standalone (``python benchmarks/bench_record.py --out BENCH_6.json``) and wired into
+the pytest benchmark session via ``benchmarks/conftest.py`` (set ``REPRO_BENCH_RECORD=<path>``).
+The emitted file is the pinned perf record this PR's acceptance gates on and that
+``tools/check_bench.py`` validates in CI:
+
+- ``filter_micro`` — the exact workload of ``benchmarks/test_engine_filter.py`` (20 000 rows,
+  seed 42, ``category BETWEEN (0, 3) AND value >= 500``), filtered by the **legacy** pinned
+  mask pipeline (``list[bool]`` masks AND-ed pairwise with an ``any(mask)`` pass per clause —
+  the pre-kernel ``vectorized_filter``, kept verbatim below as the baseline), by the
+  pure-Python kernel backend, and by the numpy backend when importable.
+- ``skip_micro`` — the same workload on a category-clustered block (what a HAIL replica
+  clustered on ``category`` stores), where zone-map partition pruning composes with the
+  kernels; ``combined_speedup`` is legacy-over-full-window vs. kernels-over-pruned-windows.
+- ``figure_workload`` — an end-to-end Session batch over the synthetic dataset with zone maps
+  on: wall seconds plus the ``ZONE_MAP_*``/bytes counters of the whole job pipeline.
+
+Every timed variant also cross-checks its result against the legacy baseline, and the
+``results_identical`` flags record that the speedups never came from answering differently.
+All timings are best-of-``repeats`` wall clock; ``--quick`` (and the conftest hook) shrink the
+repeat count so CI smoke runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.engine import kernels
+from repro.hail.hail_block import HailBlock
+from repro.hail.predicate import Comparison, Operator, Predicate
+from repro.layouts import FieldType, Schema
+from repro.layouts.zonemap import ZoneMap, pruned_row_count
+
+#: The ``benchmarks/test_engine_filter.py`` workload, reproduced exactly.
+_SCHEMA = Schema.of(
+    ("key", FieldType.INT),
+    ("category", FieldType.INT),
+    ("value", FieldType.INT),
+    name="engine-bench",
+)
+_NUM_ROWS = 20_000
+_SEED = 42
+_PARTITION_SIZE = 1024
+_PREDICATE = Predicate(
+    [
+        Comparison("category", Operator.BETWEEN, (0, 3)),
+        Comparison("value", Operator.GE, (500,)),
+    ]
+)
+
+BENCH_ID = "BENCH_6"
+
+
+# --------------------------------------------------------------------------- legacy baseline
+def _legacy_clause_mask(clause: Comparison, values: Sequence) -> list[bool]:
+    """The pre-kernel mask builder, pinned verbatim as the benchmark baseline."""
+    op = clause.op.value
+    if op == "=":
+        operand = clause.operands[0]
+        return [value == operand for value in values]
+    if op == "<":
+        operand = clause.operands[0]
+        return [value < operand for value in values]
+    if op == "<=":
+        operand = clause.operands[0]
+        return [value <= operand for value in values]
+    if op == ">":
+        operand = clause.operands[0]
+        return [value > operand for value in values]
+    if op == ">=":
+        operand = clause.operands[0]
+        return [value >= operand for value in values]
+    if op == "between":
+        low, high = clause.operands
+        return [low <= value <= high for value in values]
+    raise ValueError(f"unsupported operator {clause.op!r}")
+
+
+def legacy_filter(pax, predicate: Predicate, schema: Schema, start: int, end: int) -> list[int]:
+    """The pre-kernel ``vectorized_filter``: per-clause ``list[bool]`` masks, pairwise AND,
+    and an O(window) ``any(mask)`` early-exit scan after every clause."""
+    mask: Optional[list[bool]] = None
+    for clause in predicate.clauses:
+        column = pax.columns[clause.attribute_index(schema)]
+        window = column[start:end]
+        bits = _legacy_clause_mask(clause, window)
+        if mask is None:
+            mask = bits
+        else:
+            mask = [a and b for a, b in zip(mask, bits)]
+        if not any(mask):
+            return []
+    if mask is None:
+        return list(range(start, end))
+    return [start + offset for offset, bit in enumerate(mask) if bit]
+
+
+# --------------------------------------------------------------------------- timing harness
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds of ``fn`` (minimum is the least noisy estimator)."""
+    samples = []
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - began)
+    return min(samples)
+
+
+def _records(clustered: bool) -> list[tuple[int, int, int]]:
+    rng = random.Random(_SEED)
+    records = [(i, rng.randrange(16), rng.randrange(1000)) for i in range(_NUM_ROWS)]
+    if clustered:
+        records.sort(key=lambda record: record[1])
+    return records
+
+
+# --------------------------------------------------------------------------- workloads
+def bench_filter_micro(repeats: int) -> dict:
+    """Kernel-only speedups on the unclustered 20k-row block (full candidate window)."""
+    block = HailBlock.build(_SCHEMA, _records(clustered=False), sort_attribute="key",
+                            partition_size=_PARTITION_SIZE)
+    pax, n = block.pax, block.num_records
+    reference = legacy_filter(pax, _PREDICATE, _SCHEMA, 0, n)
+
+    variants: dict[str, dict] = {}
+    legacy_s = _time(lambda: legacy_filter(pax, _PREDICATE, _SCHEMA, 0, n), repeats)
+    variants["legacy_mask_pipeline"] = {"seconds": legacy_s, "speedup": 1.0,
+                                        "results_identical": True}
+    backends = ["python"] + (["numpy"] if kernels.HAVE_NUMPY else [])
+    for backend in backends:
+        with kernels.use_backend(backend):
+            result = kernels.filter_range(pax, _PREDICATE, _SCHEMA, 0, n)
+            seconds = _time(lambda: kernels.filter_range(pax, _PREDICATE, _SCHEMA, 0, n),
+                            repeats)
+        variants[f"kernel_{backend}"] = {
+            "seconds": seconds,
+            "speedup": legacy_s / seconds,
+            "results_identical": result == reference,
+        }
+    return {
+        "rows": n,
+        "matches": len(reference),
+        "selectivity": len(reference) / n,
+        "variants": variants,
+    }
+
+
+def bench_skip_micro(repeats: int) -> dict:
+    """Kernels + zone-map partition pruning on the category-clustered block."""
+    block = HailBlock.build(_SCHEMA, _records(clustered=True), sort_attribute="category",
+                            partition_size=_PARTITION_SIZE)
+    pax, n = block.pax, block.num_records
+    reference = legacy_filter(pax, _PREDICATE, _SCHEMA, 0, n)
+    zone_map = ZoneMap.build(pax, _PARTITION_SIZE)
+    windows = zone_map.prune_ranges(_PREDICATE, _SCHEMA, 0, n)
+    pruned_rows = pruned_row_count(windows, 0, n)
+    row_bytes = _SCHEMA.fixed_binary_size
+    legacy_s = _time(lambda: legacy_filter(pax, _PREDICATE, _SCHEMA, 0, n), repeats)
+
+    variants: dict[str, dict] = {
+        "legacy_full_window": {"seconds": legacy_s, "speedup": 1.0, "results_identical": True}
+    }
+    backends = ["python"] + (["numpy"] if kernels.HAVE_NUMPY else [])
+    for backend in backends:
+        with kernels.use_backend(backend):
+            def combined():
+                pruned = zone_map.prune_ranges(_PREDICATE, _SCHEMA, 0, n)
+                return kernels.filter_ranges(pax, _PREDICATE, _SCHEMA, pruned)
+
+            result = combined()
+            seconds = _time(combined, repeats)
+        variants[f"kernel_{backend}_pruned"] = {
+            "seconds": seconds,
+            "speedup": legacy_s / seconds,
+            "results_identical": result == reference,
+        }
+    return {
+        "rows": n,
+        "matches": len(reference),
+        "skip_rate": pruned_rows / n,
+        "pruned_rows": pruned_rows,
+        "pruned_bytes": pruned_rows * row_bytes,
+        "surviving_windows": len(windows),
+        "variants": variants,
+    }
+
+
+def bench_figure_workload(repeats: int) -> dict:
+    """End-to-end Session batch with zone maps on: wall seconds + pipeline counters."""
+    from repro.api import Session, col
+    from repro.cluster import Cluster, CostModel, CostParameters
+    from repro.datagen.synthetic import SYNTHETIC_SCHEMA, VALUE_RANGE, SyntheticGenerator
+    from repro.hail import HailConfig, HailSystem
+
+    def run() -> dict:
+        system = HailSystem(
+            Cluster.homogeneous(3, seed=2),
+            config=HailConfig(
+                index_attributes=("f1",), functional_partition_size=1
+            ).with_zone_maps(),
+            cost=CostModel(CostParameters(enable_variance=False, data_scale=50.0)),
+        )
+        session = Session(system)
+        rows = SyntheticGenerator(seed=19).generate(400)
+        data = session.upload("/bench/synthetic", rows, SYNTHETIC_SCHEMA, rows_per_block=40)
+        session.run_batch(
+            [
+                data.where(col("f1") < VALUE_RANGE // 10).select("f1"),
+                data.where(col("f2").between(0, VALUE_RANGE // 50)).select("f2", "f3"),
+                data.where(col("f3").between(-10, -1)).select("f3"),
+            ]
+        )
+        stats = session.stats()
+        return {
+            "queries": stats.queries_run,
+            "zone_map_skipped_blocks": stats.zone_map_skipped_blocks,
+            "zone_map_pruned_bytes": stats.zone_map_pruned_bytes,
+        }
+
+    began = time.perf_counter()
+    outcome = run()
+    outcome["wall_seconds"] = time.perf_counter() - began
+    return outcome
+
+
+# --------------------------------------------------------------------------- entry points
+def record(repeats: int = 5) -> dict:
+    """Run all three workloads and assemble the ``BENCH_6`` record."""
+    filter_micro = bench_filter_micro(repeats)
+    skip_micro = bench_skip_micro(repeats)
+    figure = bench_figure_workload(repeats)
+    # The acceptance headline: kernels + skipping vs. the legacy pipeline, on whatever
+    # backend is actually available (CI has no numpy, so the python kernel must carry it).
+    combined = max(
+        entry["speedup"]
+        for name, entry in skip_micro["variants"].items()
+        if name != "legacy_full_window"
+    )
+    return {
+        "bench_id": BENCH_ID,
+        "schema_version": 1,
+        "numpy_available": kernels.HAVE_NUMPY,
+        "default_backend": kernels.active_backend(),
+        "repeats": repeats,
+        "combined_speedup": combined,
+        "workloads": {
+            "filter_micro": filter_micro,
+            "skip_micro": skip_micro,
+            "figure_workload": figure,
+        },
+    }
+
+
+def write_record(out_path: str, repeats: int = 5) -> dict:
+    """Record and write the JSON file; returns the record for callers that inspect it."""
+    payload = record(repeats)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_6.json", help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N timing repeats")
+    parser.add_argument(
+        "--quick", action="store_true", help="2 repeats only (CI smoke mode)"
+    )
+    options = parser.parse_args(argv)
+    repeats = 2 if options.quick else options.repeats
+    payload = write_record(options.out, repeats=repeats)
+    print(f"wrote {options.out}: combined_speedup={payload['combined_speedup']:.2f}x")
+    for name, entry in payload["workloads"]["filter_micro"]["variants"].items():
+        print(f"  filter_micro/{name}: {entry['seconds'] * 1e3:.2f} ms "
+              f"({entry['speedup']:.2f}x)")
+    for name, entry in payload["workloads"]["skip_micro"]["variants"].items():
+        print(f"  skip_micro/{name}: {entry['seconds'] * 1e3:.2f} ms "
+              f"({entry['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,10 +8,32 @@ output is the simulated-seconds table, which is also attached to the benchmark's
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import pathlib
+
 import pytest
 
 from repro.experiments import ExperimentConfig
 from repro.experiments.report import FigureResult
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the pinned perf record after a green benchmark session.
+
+    Opt-in: set ``REPRO_BENCH_RECORD=<output path>`` (the CI smoke step sets it to
+    ``BENCH_6.json``).  The recorder lives in :mod:`benchmarks.bench_record`, which is not a
+    package module, so it is loaded by file path; quick mode keeps the hook cheap.
+    """
+    out_path = os.environ.get("REPRO_BENCH_RECORD", "").strip()
+    if not out_path or exitstatus != 0:
+        return
+    recorder_path = pathlib.Path(__file__).with_name("bench_record.py")
+    spec = importlib.util.spec_from_file_location("bench_record", recorder_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    payload = module.write_record(out_path, repeats=2)
+    print(f"\nwrote {out_path}: combined_speedup={payload['combined_speedup']:.2f}x")
 
 
 @pytest.fixture(scope="session")

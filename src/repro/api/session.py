@@ -256,6 +256,16 @@ class SessionStats:
         return int(self.counter(Counters.SCAN_FALLBACK_BLOCKS))
 
     @property
+    def zone_map_skipped_blocks(self) -> int:
+        """Blocks answered by a verified zone-map skip — no data column was read at all."""
+        return int(self.counter(Counters.ZONE_MAP_SKIPPED_BLOCKS))
+
+    @property
+    def zone_map_pruned_bytes(self) -> float:
+        """Data-column bytes zone-map skipping and partition pruning saved from being read."""
+        return self.counter(Counters.ZONE_MAP_PRUNED_BYTES)
+
+    @property
     def adaptive_indexes_evicted(self) -> int:
         """Adaptive replicas dropped by disk-pressure eviction across the session."""
         return int(self.counter(Counters.ADAPTIVE_INDEXES_EVICTED))

@@ -8,6 +8,8 @@ privately inside their record readers:
   :class:`QueryPlan` objects from the namenode's ``Dir_rep`` (with ``explain()``);
 - :mod:`repro.engine.executor`    — :class:`VectorizedExecutor` evaluating predicates
   column-at-a-time over PAX partitions and charging the simulated RecordReader cost;
+- :mod:`repro.engine.kernels`     — the columnar filter kernels the executor dispatches to:
+  a pure-Python reference backend and an optional numpy fast path (``REPRO_KERNELS``);
 - :mod:`repro.engine.adaptive`    — LIAH-style adaptive indexing: full scans stage indexed
   replicas as a by-product (:class:`PendingIndexBuild`), which the scheduler registers
   failure-safely after the map phase (:func:`commit_adaptive_builds`);
@@ -37,6 +39,7 @@ from repro.engine.lifecycle import (
     LifecycleReport,
     evict_under_pressure,
 )
+from repro.engine import kernels
 from repro.engine.executor import (
     BlockScanResult,
     TextScanResult,
@@ -65,6 +68,7 @@ __all__ = [
     "VectorizedExecutor",
     "clause_mask",
     "commit_adaptive_builds",
+    "kernels",
     "vectorized_filter",
     "PhysicalPlanner",
     "QueryPlan",

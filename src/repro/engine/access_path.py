@@ -35,6 +35,11 @@ class AccessPath(enum.Enum):
     #: builds a clustered index on the filter attribute and stages an indexed replica so that
     #: subsequent queries on this block upgrade to :attr:`INDEX_SCAN`.
     ADAPTIVE_INDEX_BUILD = "adaptive_index_build"
+    #: The block's ``Dir_rep`` zone-map synopsis proves no row can satisfy the predicate: the
+    #: reader opens the replica only to verify the synopsis against the payload (fail-closed)
+    #: and to surface bad records, reading no data columns at all.  A verification mismatch
+    #: degrades the block to a full scan at execution time.
+    ZONE_MAP_SKIP = "zone_map_skip"
 
     @property
     def uses_index(self) -> bool:

@@ -6,9 +6,13 @@ of the row-at-a-time post-filter loops the record readers used to carry), recons
 projected attributes only for qualifying positions, and charges the exact same simulated cost
 the readers charged before the refactor — the "RecordReader time" of Figures 6(b) and 7(b).
 
-The predicate kernels at the top of this module are pure functions over columns and are shared
-with :meth:`repro.hail.hail_block.HailBlock.filter_rows`, so the block-level API and the engine
-cannot drift apart.
+The predicate kernels live in :mod:`repro.engine.kernels` (a dispatch module with a pure-Python
+reference backend and an optional numpy fast path); :func:`vectorized_filter` is the executor's
+entry point into them and is shared with :meth:`repro.hail.hail_block.HailBlock.filter_rows`,
+so the block-level API and the engine cannot drift apart.  With zone maps enabled the executor
+additionally prunes candidate partitions against the payload's min-max synopsis and executes
+planner-ordered ``ZONE_MAP_SKIP`` blocks — after re-verifying the synopsis against the payload,
+failing closed to a full scan on any mismatch.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cluster.costmodel import CostModel
+from repro.engine import kernels
 from repro.engine.access_path import AccessPath, BlockPlan
 from repro.engine.adaptive import PendingIndexBuild
 from repro.hdfs.block import Replica, TextBlockPayload
@@ -25,6 +30,7 @@ from repro.hdfs.errors import ReplicaNotFoundError
 from repro.hdfs.filesystem import Hdfs
 from repro.layouts.pax import PaxBlock
 from repro.layouts.schema import Schema
+from repro.layouts.zonemap import pruned_row_count
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.hail's __init__ imports us back
     from repro.engine.adaptive import AdaptiveJobContext
@@ -39,7 +45,10 @@ def clause_mask(clause: Comparison, values: Sequence) -> list[bool]:
 
     The operator is resolved *once* per column instead of once per value, which is what makes
     the columnar evaluation measurably faster than row-at-a-time dispatch (see
-    ``benchmarks/test_engine_filter.py``).
+    ``benchmarks/test_engine_filter.py``).  This is the reference mask kernel; the execution
+    path itself dispatches through :mod:`repro.engine.kernels`, whose backends collapse the
+    mask pipeline into survivor-position refinement (Python) or packed boolean arrays (numpy)
+    while preserving exactly these semantics.
     """
     op = clause.op.value
     if op == "=":
@@ -68,28 +77,14 @@ def vectorized_filter(
 ) -> list[int]:
     """Row ids inside ``lookup`` that satisfy the (full) predicate, evaluated columnar.
 
-    Equivalent to the classic row-at-a-time loop (``for row: for clause: ...``) but touches one
-    minipage at a time: per clause, the candidate slice of its column is evaluated in one pass
-    and AND-ed into the running selection mask.  Clauses keep their written order; evaluation
-    stops early when the mask empties out.
+    Equivalent to the classic row-at-a-time loop (``for row: for clause: ...``) but evaluated
+    by the active :mod:`repro.engine.kernels` backend: the pure-Python reference backend scans
+    each clause's minipage slice once and refines a surviving-position list (tracking the
+    surviving-row count as it ANDs, with no per-clause ``any(mask)`` pass), while the optional
+    numpy backend runs the same comparisons over packed 64-bit column views.  Clauses keep
+    their written order; evaluation stops early when no candidate survives.
     """
-    start, end = lookup.start_row, lookup.end_row
-    if predicate is None:
-        return list(range(start, end))
-    mask: Optional[list[bool]] = None
-    for clause in predicate.clauses:
-        column = pax.columns[clause.attribute_index(schema)]
-        window = column[start:end]
-        bits = clause_mask(clause, window)
-        if mask is None:
-            mask = bits
-        else:
-            mask = [a and b for a, b in zip(mask, bits)]
-        if not any(mask):
-            return []
-    if mask is None:
-        return list(range(start, end))
-    return [start + offset for offset, bit in enumerate(mask) if bit]
+    return kernels.filter_range(pax, predicate, schema, lookup.start_row, lookup.end_row)
 
 
 # --------------------------------------------------------------------------- execution results
@@ -117,6 +112,12 @@ class BlockScanResult:
     #: tuner's benefit ledger (build cost is charged when the index is built; savings accrue
     #: on every later use).
     saved_seconds: float = 0.0
+    #: True when the block was answered by a *verified* zone-map skip: the payload's own
+    #: synopsis confirmed no row can match, so no data column was read at all.
+    zone_map_skipped: bool = False
+    #: Data-column bytes zone maps saved this block from reading — the whole candidate column
+    #: set for a verified skip, the pruned partitions' share for partition-level pruning.
+    zone_map_pruned_bytes: float = 0.0
 
 
 @dataclass
@@ -132,10 +133,15 @@ class TextScanResult:
 class VectorizedExecutor:
     """Executes :class:`BlockPlan`\\ s: opens the replica, filters columnar, charges cost."""
 
-    def __init__(self, hdfs: Hdfs, cost: CostModel, node_id: int) -> None:
+    def __init__(
+        self, hdfs: Hdfs, cost: CostModel, node_id: int, zone_maps: bool = False
+    ) -> None:
         self.hdfs = hdfs
         self.cost = cost
         self.node_id = node_id
+        #: When True, candidate windows are pruned against the payload's per-partition zone
+        #: map and planner-ordered ZONE_MAP_SKIP plans are executed (after verification).
+        self.zone_maps = zone_maps
 
     # ------------------------------------------------------------------ PAX / HAIL blocks
     def execute(
@@ -167,6 +173,18 @@ class VectorizedExecutor:
             predicate = annotation.bound_filter(schema)
             projection = annotation.projection_names(schema)
 
+        pruning_allowed = self.zone_maps
+        if plan.access_path is AccessPath.ZONE_MAP_SKIP:
+            skip = self._execute_zone_map_skip(plan, replica, payload, predicate, projection)
+            if skip is not None:
+                return skip
+            # Verification failed: the Dir_rep synopsis was stale.  Fail closed — run the
+            # block as a normal scan with all zone-map pruning disabled, and let _reconcile
+            # relabel the access path from the payload ground truth below.
+            pruning_allowed = False
+            plan.attribute = None
+            plan.fallback_reason = "stale zone map synopsis"
+
         if predicate is not None:
             lookup, used_index = payload.candidate_rows(predicate)
         else:
@@ -174,12 +192,41 @@ class VectorizedExecutor:
             lookup = self._whole_block_lookup(payload)
             used_index = False
 
-        matching_rows = vectorized_filter(payload.pax, predicate, schema, lookup)
+        windows = [(lookup.start_row, lookup.end_row)]
+        zone_pruned_rows = 0
+        zone_pruned_bytes = 0.0
+        if pruning_allowed and predicate is not None and payload.num_records:
+            zone_map = payload.zone_map
+            # Fail-closed staleness guard: a synopsis sized for different data is ignored.
+            if zone_map.matches(payload.num_records):
+                windows = zone_map.prune_ranges(
+                    predicate, schema, lookup.start_row, lookup.end_row
+                )
+                zone_pruned_rows = pruned_row_count(
+                    windows, lookup.start_row, lookup.end_row
+                )
+                if zone_pruned_rows:
+                    columns = payload.columns_to_read(predicate, projection)
+                    column_bytes = sum(
+                        payload.pax.column_size_bytes(name) for name in columns
+                    )
+                    zone_pruned_bytes = (
+                        zone_pruned_rows / max(1, payload.num_records)
+                    ) * column_bytes
+
+        matching_rows = kernels.filter_ranges(payload.pax, predicate, schema, windows)
         projected = payload.project_rows(matching_rows, projection)
         positions = self._projection_positions(schema, projection)
 
         seconds, read_bytes = self._charge_block(
-            replica, payload, lookup, len(matching_rows), predicate, projection, used_index
+            replica,
+            payload,
+            lookup,
+            len(matching_rows),
+            predicate,
+            projection,
+            used_index,
+            num_candidate_rows=lookup.num_rows - zone_pruned_rows,
         )
 
         saved_seconds = 0.0
@@ -235,6 +282,54 @@ class VectorizedExecutor:
             pending_build=pending_build,
             used_adaptive_index=used_adaptive_index,
             saved_seconds=saved_seconds,
+            zone_map_pruned_bytes=zone_pruned_bytes,
+        )
+
+    def _execute_zone_map_skip(
+        self,
+        plan: BlockPlan,
+        replica: Replica,
+        payload,
+        predicate: Optional[Predicate],
+        projection: Optional[list[str]],
+    ) -> Optional[BlockScanResult]:
+        """Execute a planner-ordered skip, or ``None`` when verification fails (fail closed).
+
+        The skip is only honoured when the *payload's own* synopsis — derived from the rows
+        actually stored, not from ``Dir_rep`` — confirms both that it covers the current row
+        count and that no row can match the predicate.  A confirmed skip reads no data
+        columns: only the block metadata and the bad-record section are touched (bad records
+        are always surfaced — skipping changes what is read, never what is returned).
+        """
+        schema = payload.schema
+        zone_map = payload.zone_map
+        confirmed = (
+            predicate is not None
+            and zone_map.matches(payload.num_records)
+            and not zone_map.may_match(predicate, schema)
+        )
+        if not confirmed:
+            return None
+        bad_bytes = payload.bad_records_size_bytes()
+        seconds = self.cost.reader_setup() + self._charge_transfer(replica, bad_bytes)
+        columns = payload.columns_to_read(predicate, projection)
+        pruned_bytes = float(
+            sum(payload.pax.column_size_bytes(name) for name in columns)
+        )
+        plan.estimated_rows = 0
+        plan.estimated_bytes = bad_bytes
+        return BlockScanResult(
+            plan=plan,
+            schema=schema,
+            rows=[],
+            projected=[],
+            positions=self._projection_positions(schema, projection),
+            bad_lines=list(payload.bad_lines),
+            seconds=seconds,
+            bytes_read=float(bad_bytes),
+            used_index=False,
+            zone_map_skipped=True,
+            zone_map_pruned_bytes=pruned_bytes,
         )
 
     @staticmethod
@@ -369,6 +464,7 @@ class VectorizedExecutor:
             num_records=block.num_records,
             pax_layout=payload.pax_layout,
             origin="adaptive",
+            zone_ranges=block.zone_ranges(),
         )
         return PendingIndexBuild(
             block_id=plan.block_id,
@@ -437,6 +533,7 @@ class VectorizedExecutor:
         predicate: Optional[Predicate],
         projection: Optional[list[str]],
         used_index: bool,
+        num_candidate_rows: Optional[int] = None,
     ) -> tuple[float, float]:
         from repro.hail.index import logical_index_size_bytes
 
@@ -444,7 +541,10 @@ class VectorizedExecutor:
         disk = self.cost.disk(node)
         cpu = self.cost.cpu(node)
         num_records = max(1, payload.num_records)
-        candidate_fraction = min(1.0, lookup.num_rows / num_records)
+        # Zone-map partition pruning shrinks the candidate set below the lookup's row range;
+        # callers pass the post-pruning count so the charged I/O matches what was read.
+        effective_rows = lookup.num_rows if num_candidate_rows is None else num_candidate_rows
+        candidate_fraction = min(1.0, max(0, effective_rows) / num_records)
         qualifying_fraction = min(1.0, num_matching / num_records)
         logical_rows = self.cost.scale_count(payload.num_records)
         candidate_rows = candidate_fraction * logical_rows

@@ -489,6 +489,7 @@ def _downgrade_replica(hdfs: "Hdfs", datanode_id: int, block_id: int, info) -> N
             num_records=info.num_records,
             pax_layout=info.pax_layout,
             origin="evicted",
+            zone_ranges=plain_block.zone_ranges(),
         ),
     )
 
@@ -684,6 +685,7 @@ class PlacementBalancer:
             num_records=block.num_records,
             pax_layout=payload.pax_layout,
             origin="adaptive",
+            zone_ranges=block.zone_ranges(),
         )
         target_id = self._choose_target(
             hdfs, block_id, float(info.size_on_disk_bytes), footprints

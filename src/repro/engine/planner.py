@@ -21,6 +21,10 @@ from repro.engine.adaptive import AdaptiveJobContext
 from repro.hdfs.filesystem import Hdfs
 from repro.hdfs.namenode import NameNode
 from repro.layouts.schema import Schema
+from repro.layouts.zonemap import ranges_disjoint
+
+#: Jobconf property that switches zone-map data skipping on for a job's readers.
+ZONE_MAP_PROPERTY = "hail.zone.maps"
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.hail's __init__ imports us back
     from repro.hail.annotation import HailQuery
@@ -123,6 +127,7 @@ class QueryPlan:
             # builds riding on index scans — matching describe()'s "+build(...)" markers
             # and the ADAPTIVE_INDEX_BUILDS job counter.
             "adaptive_index_builds": sum(1 for plan in self.block_plans if plan.builds_index),
+            "zone_map_skips": self.count(AccessPath.ZONE_MAP_SKIP),
             "index_coverage": self.index_coverage,
         }
 
@@ -139,10 +144,19 @@ class PhysicalPlanner:
        (:func:`choose_indexed_host`, preferring the executing node);
     3. the executing node's local replica;
     4. any alive replica (the namenode's first entry).
+
+    With ``zone_maps`` enabled, a block whose registered ``Dir_rep`` synopsis
+    (``HailBlockReplicaInfo.zone_ranges``) proves the predicate can match no row is planned as
+    :attr:`AccessPath.ZONE_MAP_SKIP` before any access-path classification: the reader opens
+    the replica only to verify the synopsis (fail-closed) and surface bad records.  The
+    planner stays a pure metadata consumer — the skip decision reads ``Dir_rep`` only, never
+    a payload.
     """
 
-    def __init__(self, hdfs: Hdfs) -> None:
+    def __init__(self, hdfs: Hdfs, zone_maps: bool = False) -> None:
         self.hdfs = hdfs
+        #: When True, blocks provably disjoint from the predicate plan as ZONE_MAP_SKIP.
+        self.zone_maps = zone_maps
 
     # ------------------------------------------------------------------ per-query planning
     def query_frame(self, path: str, annotation: Optional[HailQuery] = None) -> QueryPlan:
@@ -261,6 +275,20 @@ class PhysicalPlanner:
             else:
                 datanode_id = hosts[0]
 
+        if self.zone_maps and predicate is not None and schema is not None:
+            skip_attribute = self._zone_map_skip(block_id, datanode_id, predicate, schema)
+            if skip_attribute is not None:
+                # Classified before any adaptive-build marking: a block no row of which can
+                # match must neither stage a build nor count as an index-scan fallback.
+                return BlockPlan(
+                    block_id=block_id,
+                    access_path=AccessPath.ZONE_MAP_SKIP,
+                    datanode_id=datanode_id,
+                    attribute=skip_attribute,
+                    estimated_rows=0,
+                    estimated_bytes=0,
+                )
+
         plan = self._classify(block_id, datanode_id, schema, predicate, projection, None)
         if plan.uses_index and adaptive is not None and adaptive.record_usage:
             # LRU bookkeeping for the lifecycle manager: this replica's index was chosen by a
@@ -281,6 +309,34 @@ class PhysicalPlanner:
             else:
                 self._mark_secondary_build(plan, predicate, schema, adaptive)
         return plan
+
+    def _zone_map_skip(
+        self, block_id: int, datanode_id: int, predicate: Predicate, schema: Schema
+    ) -> Optional[str]:
+        """The attribute whose ``Dir_rep`` zone proves the block cannot match, or ``None``.
+
+        Pure metadata: only the registered block-level ranges are consulted.  Every doubt —
+        no synopsis, an uncovered attribute, uncomparable operands — answers ``None`` (scan),
+        and the executor independently re-verifies any skip against the payload's own zone
+        map, so a stale entry here can cost a scan but never a row.
+        """
+        info = self.hdfs.namenode.replica_info(block_id, datanode_id)
+        ranges = getattr(info, "zone_ranges", None)
+        if not ranges:
+            return None
+        zones = {name: (low, high) for name, low, high in ranges}
+        for clause in predicate.clauses:
+            try:
+                name = schema.fields[clause.attribute_index(schema)].name
+            except (KeyError, IndexError):
+                continue
+            zone = zones.get(name)
+            if zone is None:
+                continue
+            low, high = clause.value_range()
+            if ranges_disjoint(low, high, zone[0], zone[1]):
+                return name
+        return None
 
     def _fallback_reason(self, block_id: int, attributes: Sequence[str]) -> str:
         """Why no index scan was possible: never indexed, lost to a failure, or evicted.

@@ -109,6 +109,14 @@ class HailConfig:
     placement_rebuilds_per_job / placement_migrations_per_job:
         Per-job work bounds of the balancer — how many re-replications and migrations one
         post-job pass may perform (background work is budgeted, never bursty).
+    zone_maps:
+        Enable zone-map data skipping (off by default, keeping the default cost trajectory and
+        the Figure 6/7 baselines bit-identical): the planner skips blocks whose registered
+        ``Dir_rep`` min-max synopsis proves the predicate can match no row (the
+        ``ZONE_MAP_SKIP`` access path), and the executor prunes candidate partitions against
+        the payload's per-partition synopsis.  Both layers fail closed — any synopsis doubt
+        degrades to a full scan, never to a dropped row — and skipping changes what is *read*,
+        never what is returned.
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -135,6 +143,7 @@ class HailConfig:
     placement_skew_low: float = 1.5
     placement_rebuilds_per_job: int = 2
     placement_migrations_per_job: int = 4
+    zone_maps: bool = False
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -284,6 +293,10 @@ class HailConfig:
         if migrations_per_job is not None:
             overrides["placement_migrations_per_job"] = migrations_per_job
         return replace(self, **overrides)
+
+    def with_zone_maps(self, enabled: bool = True) -> "HailConfig":
+        """Copy of this configuration with zone-map data skipping toggled."""
+        return replace(self, zone_maps=enabled)
 
     def with_replication(self, replication: int) -> "HailConfig":
         """Copy of this configuration with a different replication factor."""

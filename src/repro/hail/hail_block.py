@@ -21,6 +21,7 @@ from repro.hdfs.block import BlockPayload
 from repro.layouts import serialization
 from repro.layouts.pax import PaxBlock
 from repro.layouts.schema import Schema
+from repro.layouts.zonemap import ZoneMap, ZoneRanges, block_zone_ranges
 
 #: Fixed functional size of the block-metadata header (schema, counters, flags).
 _BLOCK_METADATA_BYTES = 256
@@ -56,6 +57,9 @@ class HailBlock(BlockPayload):
         #: still sorted and indexed, but a scan can no longer prune unneeded columns.
         self.pax_layout: bool = True
         self.variable_offsets: dict[str, list[int]] = self._build_variable_offsets()
+        # Lazily built per-partition zone map (see the ``zone_map`` property); kept as an
+        # attribute so tests can inject a stale synopsis and assert the fail-closed path.
+        self._zone_map: Optional[ZoneMap] = None
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -160,6 +164,26 @@ class HailBlock(BlockPayload):
         if self.index is None:
             return None
         return self.index.describe()
+
+    # ------------------------------------------------------------------ zone maps
+    @property
+    def zone_map(self) -> ZoneMap:
+        """The per-partition min-max synopsis of this payload, built lazily from the data.
+
+        Because it is derived from the payload itself, the synopsis is consistent with the
+        rows by construction; executors still gate every use behind
+        ``zone_map.matches(num_records)`` so an injected or stale synopsis fails closed to a
+        full scan instead of skipping rows.
+        """
+        if self._zone_map is None:
+            self._zone_map = ZoneMap.build(self.pax, self.partition_size)
+        return self._zone_map
+
+    def zone_ranges(self) -> ZoneRanges:
+        """Block-level min/max triples for ``Dir_rep`` registration (cheap, no partitions)."""
+        if self._zone_map is not None:
+            return self._zone_map.block_ranges()
+        return block_zone_ranges(self.pax)
 
     # ------------------------------------------------------------------ query support
     def candidate_rows(self, predicate: Predicate) -> tuple[IndexLookup, bool]:

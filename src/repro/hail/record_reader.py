@@ -24,7 +24,7 @@ from typing import Iterator, Optional
 from repro.cluster.costmodel import CostModel
 from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext, PendingIndexBuild
 from repro.engine.executor import VectorizedExecutor
-from repro.engine.planner import PhysicalPlanner
+from repro.engine.planner import ZONE_MAP_PROPERTY, PhysicalPlanner
 from repro.hail.annotation import HailQuery, resolve_annotation
 from repro.hail.record import HailRecord
 from repro.hdfs.filesystem import Hdfs
@@ -42,8 +42,9 @@ class HailRecordReader(RecordReader):
         super().__init__(split, hdfs, cost, node_id)
         self.jobconf = jobconf
         self.annotation: Optional[HailQuery] = resolve_annotation(jobconf)
-        self.planner = PhysicalPlanner(hdfs)
-        self.executor = VectorizedExecutor(hdfs, cost, node_id)
+        zone_maps = bool(jobconf.properties.get(ZONE_MAP_PROPERTY, False))
+        self.planner = PhysicalPlanner(hdfs, zone_maps=zone_maps)
+        self.executor = VectorizedExecutor(hdfs, cost, node_id, zone_maps=zone_maps)
         #: The job's adaptive-indexing policy (installed by HailSystem/HailInputFormat when
         #: ``HailConfig.adaptive_indexing`` is on; ``None`` keeps the reader purely read-only).
         self.adaptive: Optional[AdaptiveJobContext] = jobconf.properties.get(ADAPTIVE_PROPERTY)
@@ -53,6 +54,10 @@ class HailRecordReader(RecordReader):
         #: Number of blocks answered by index scan vs. full scan (for reports/tests).
         self.index_scans = 0
         self.full_scans = 0
+        #: Zone-map telemetry: blocks answered by a verified skip (no data columns read) and
+        #: data-column bytes pruning saved across all scans of this reader.
+        self.zone_map_skipped_blocks = 0
+        self.zone_map_pruned_bytes = 0.0
         #: Lifecycle-tuner telemetry: blocks answered via a previously built adaptive index,
         #: and the measured scan savings those uses realised (executor counterfactuals).
         self.adaptive_index_uses = 0
@@ -93,9 +98,14 @@ class HailRecordReader(RecordReader):
                         self.adaptive_saved_by_attribute.get(attribute, 0.0)
                         + scan.saved_seconds
                     )
+            self.zone_map_pruned_bytes += scan.zone_map_pruned_bytes
             if scan.used_index:
                 self.index_scans += 1
                 self.used_index = True
+            elif scan.zone_map_skipped:
+                # A verified skip is neither an index scan nor a fallback: no data was read,
+                # so it must not count as a full scan nor feed the adaptive tuner's ledgers.
+                self.zone_map_skipped_blocks += 1
             else:
                 self.full_scans += 1
                 attribute = self._first_filter_attribute(scan.schema)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.layouts.zonemap import ZoneRanges
+
 
 @dataclass(frozen=True)
 class HailBlockReplicaInfo:
@@ -38,6 +40,12 @@ class HailBlockReplicaInfo:
     #: commit time.  Eviction then downgrades it back to a plain replica instead of deleting
     #: it, so the block's replication factor survives arbitrarily many build/evict cycles.
     displaced_plain_replica: bool = False
+    #: Block-level min-max synopsis, one ``(attribute, min, max)`` triple per attribute, or
+    #: ``None`` when no synopsis was registered.  The physical planner consults it for
+    #: zone-map block skipping without opening any payload; executors re-verify skips against
+    #: the payload's own zone map, so a stale entry here degrades to a full scan (fail
+    #: closed), never to a wrong answer.
+    zone_ranges: Optional[ZoneRanges] = None
 
     @property
     def has_index(self) -> bool:
@@ -77,4 +85,5 @@ class HailBlockReplicaInfo:
             "num_records": self.num_records,
             "pax_layout": self.pax_layout,
             "origin": self.origin,
+            "zone_ranges": len(self.zone_ranges) if self.zone_ranges is not None else 0,
         }

@@ -18,6 +18,7 @@ from repro.hail.scheduler import (
     replica_distribution,
 )
 from repro.hail.upload import HailUploadPipeline
+from repro.engine.planner import ZONE_MAP_PROPERTY, PhysicalPlanner
 from repro.layouts.schema import Schema
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.job_tracker import SCHEDULING_PROPERTY, SchedulingPolicy
@@ -92,6 +93,8 @@ class HailSystem(BaseSystem):
             input_format=HailInputFormat(self.config),
         )
         jobconf.properties[JOB_PROPERTY] = annotation
+        if self.config.zone_maps:
+            jobconf.properties[ZONE_MAP_PROPERTY] = True
         if self.config.index_aware_scheduling:
             jobconf.properties[SCHEDULING_PROPERTY] = SchedulingPolicy()
         if self.config.adaptive_indexing:
@@ -111,6 +114,10 @@ class HailSystem(BaseSystem):
             jobconf.properties[ADAPTIVE_PROPERTY] = context
             self._adaptive_salt += 1
         return jobconf
+
+    def _planner(self) -> PhysicalPlanner:
+        """Planner matching this deployment's jobs: zone-map skipping follows the config."""
+        return PhysicalPlanner(self.hdfs, zone_maps=self.config.zone_maps)
 
     # ------------------------------------------------------------------ introspection
     def index_coverage(self, path: str, attribute: str) -> float:

@@ -185,6 +185,7 @@ class HailUploadPipeline:
             block_size_bytes=block.size_bytes(),
             num_records=block.num_records,
             pax_layout=self.config.convert_to_pax,
+            zone_ranges=block.zone_ranges(),
         )
         return replica, info
 

@@ -9,6 +9,7 @@ used by HAIL and by the Trojan-index baseline.
 from repro.layouts.schema import Field, FieldType, Schema, BadRecordError
 from repro.layouts.row import TextRowCodec, BinaryRowCodec
 from repro.layouts.pax import PaxBlock
+from repro.layouts.zonemap import ZoneMap, block_zone_ranges
 from repro.layouts import serialization
 
 __all__ = [
@@ -19,5 +20,7 @@ __all__ = [
     "TextRowCodec",
     "BinaryRowCodec",
     "PaxBlock",
+    "ZoneMap",
+    "block_zone_ranges",
     "serialization",
 ]

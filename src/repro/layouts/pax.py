@@ -8,10 +8,23 @@ needs to touch only that attribute's minipage, and projections read only the req
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from array import array
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.layouts import serialization
-from repro.layouts.schema import Schema
+from repro.layouts.schema import FieldType, Schema
+
+#: Array typecodes backing the numeric fast path: 64-bit ints and doubles cover every fixed
+#: numeric field type exactly (INT/FLOAT values widen losslessly into them).
+_TYPED_CODES: dict[FieldType, str] = {
+    FieldType.INT: "q",
+    FieldType.BIGINT: "q",
+    FieldType.FLOAT: "d",
+    FieldType.DOUBLE: "d",
+}
+
+#: Largest integer magnitude float64 represents exactly (int/float cross-comparison bound).
+_EXACT_FLOAT_INT = 2**53
 
 
 class PaxBlock:
@@ -19,10 +32,25 @@ class PaxBlock:
 
     The functional representation keeps each column as a Python list; byte sizes are computed
     from the schema so the cost model can charge realistic I/O volumes without materialising
-    hundreds of megabytes.
+    hundreds of megabytes.  Numeric columns additionally expose a lazily built typed
+    ``array`` view (:meth:`typed_column_at`) whose buffer the kernel fast path wraps with
+    ``memoryview``/``numpy.frombuffer`` at zero copy cost.
+
+    Blocks are treated as immutable after construction (reorders build new blocks), which is
+    what makes the typed-column cache and the zone-map synopses derived from a block safe to
+    reuse.  Internal construction paths that just pivoted or decoded fresh lists pass
+    ``copy_columns=False`` to adopt them directly; the defensive copy remains the default for
+    external callers handing in lists they may still mutate.
     """
 
-    def __init__(self, schema: Schema, columns: Sequence[list], num_rows: int) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[list],
+        num_rows: int,
+        *,
+        copy_columns: bool = True,
+    ) -> None:
         if len(columns) != len(schema.fields):
             raise ValueError(
                 f"expected {len(schema.fields)} columns for schema {schema.name!r}, got {len(columns)}"
@@ -33,8 +61,17 @@ class PaxBlock:
                     f"column {field.name!r} has {len(column)} values but the block has {num_rows} rows"
                 )
         self.schema = schema
-        self.columns: list[list] = [list(column) for column in columns]
+        if copy_columns:
+            self.columns: list[list] = [list(column) for column in columns]
+        else:
+            self.columns = [
+                column if isinstance(column, list) else list(column) for column in columns
+            ]
         self.num_rows = num_rows
+        # Lazily built per-column typed views; a cached None marks a column that has no exact
+        # typed representation (non-numeric type, or a BIGINT value outside int64).
+        self._typed_columns: dict[int, Optional[array]] = {}
+        self._int_fits_float: dict[int, bool] = {}
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -49,12 +86,12 @@ class PaxBlock:
                 )
             for i, value in enumerate(record):
                 columns[i].append(value)
-        return cls(schema, columns, len(records))
+        return cls(schema, columns, len(records), copy_columns=False)
 
     @classmethod
     def empty(cls, schema: Schema) -> "PaxBlock":
         """An empty PAX block (used for blocks that contain only bad records)."""
-        return cls(schema, [[] for _ in schema.fields], 0)
+        return cls(schema, [[] for _ in schema.fields], 0, copy_columns=False)
 
     # ------------------------------------------------------------------ access
     def __len__(self) -> int:
@@ -90,7 +127,50 @@ class PaxBlock:
         if len(permutation) != self.num_rows:
             raise ValueError("permutation length must equal the number of rows")
         new_columns = [[column[i] for i in permutation] for column in self.columns]
-        return PaxBlock(self.schema, new_columns, self.num_rows)
+        return PaxBlock(self.schema, new_columns, self.num_rows, copy_columns=False)
+
+    # ------------------------------------------------------------------ typed column views
+    def typed_column_at(self, index: int) -> Optional[array]:
+        """A typed ``array`` view of one column, or ``None`` if no exact view exists.
+
+        Numeric columns (INT/BIGINT → ``array('q')``, FLOAT/DOUBLE → ``array('d')``) get a
+        packed 64-bit representation whose buffer kernels can wrap zero-copy with
+        ``memoryview``/``numpy.frombuffer``.  DATE and STRING columns — and integer columns
+        holding a value outside int64 — have no exact packed form and return ``None``, which
+        tells the kernel dispatcher to stay on the reference backend.  Views are built once
+        per column and cached (blocks are immutable after construction).
+        """
+        try:
+            return self._typed_columns[index]
+        except KeyError:
+            pass
+        typecode = _TYPED_CODES.get(self.schema.fields[index].ftype)
+        typed: Optional[array] = None
+        if typecode is not None:
+            try:
+                typed = array(typecode, self.columns[index])
+            except (OverflowError, TypeError, ValueError):
+                typed = None
+        self._typed_columns[index] = typed
+        return typed
+
+    def int_column_fits_float(self, index: int) -> bool:
+        """True when every value of an integer column is exactly representable as float64.
+
+        Kernels comparing an int64 column against a float operand promote the column to
+        float64; the promotion is only exact below 2**53, so this bound gates that path.
+        """
+        try:
+            return self._int_fits_float[index]
+        except KeyError:
+            pass
+        typed = self.typed_column_at(index)
+        if typed is None or typed.typecode != "q" or len(typed) == 0:
+            fits = typed is not None and typed.typecode == "q"
+        else:
+            fits = -_EXACT_FLOAT_INT <= min(typed) and max(typed) <= _EXACT_FLOAT_INT
+        self._int_fits_float[index] = fits
+        return fits
 
     # ------------------------------------------------------------------ size accounting
     def column_size_bytes(self, name: str) -> int:
@@ -133,7 +213,7 @@ class PaxBlock:
                 value, offset = serialization.decode_value(field, payload, offset)
                 column.append(value)
             columns.append(column)
-        return cls(schema, columns, num_rows)
+        return cls(schema, columns, num_rows, copy_columns=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PaxBlock(schema={self.schema.name!r}, rows={self.num_rows})"

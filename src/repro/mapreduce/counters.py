@@ -45,6 +45,11 @@ class Counters:
     ADAPTIVE_SAVED_SECONDS = "ADAPTIVE_SAVED_SECONDS"
     #: Blocks answered without any index (the pool adaptive builds could convert).
     SCAN_FALLBACK_BLOCKS = "SCAN_FALLBACK_BLOCKS"
+    #: Blocks answered by a verified zone-map skip: the min-max synopsis proved no row can
+    #: match, so no data column was read (neither an index scan nor a scan fallback).
+    ZONE_MAP_SKIPPED_BLOCKS = "ZONE_MAP_SKIPPED_BLOCKS"
+    #: Data-column bytes zone-map skipping and partition pruning saved from being read.
+    ZONE_MAP_PRUNED_BYTES = "ZONE_MAP_PRUNED_BYTES"
     ADAPTIVE_INDEXES_EVICTED = "ADAPTIVE_INDEXES_EVICTED"
     #: Bytes that left the per-node adaptive byte budgets (budget accounting — downgraded
     #: replicas keep their plain copy on disk, so physical reclamation can be smaller).

@@ -79,6 +79,13 @@ class MapTask:
                 counters.increment(
                     Counters.per_attribute(Counters.ADAPTIVE_SAVED_SECONDS, attribute), saved
                 )
+        # Zone-map telemetry (readers without zone-map support contribute zeros).
+        zone_skips = getattr(reader, "zone_map_skipped_blocks", 0)
+        if zone_skips:
+            counters.increment(Counters.ZONE_MAP_SKIPPED_BLOCKS, zone_skips)
+        zone_pruned = getattr(reader, "zone_map_pruned_bytes", 0.0)
+        if zone_pruned:
+            counters.increment(Counters.ZONE_MAP_PRUNED_BYTES, zone_pruned)
         fallback_blocks = getattr(reader, "full_scans", 0)
         if fallback_blocks:
             counters.increment(Counters.SCAN_FALLBACK_BLOCKS, fallback_blocks)

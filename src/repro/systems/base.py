@@ -195,7 +195,7 @@ class BaseSystem(abc.ABC):
 
     def plan_query(self, query, path: str) -> QueryPlan:
         """The physical plan the engine chooses for ``query`` (without executing anything)."""
-        return PhysicalPlanner(self.hdfs).plan_query(path, self._annotation_for(query))
+        return self._planner().plan_query(path, self._annotation_for(query))
 
     def explain(self, query, path: str) -> str:
         """``EXPLAIN``-style rendering of :meth:`plan_query`."""
@@ -207,9 +207,17 @@ class BaseSystem(abc.ABC):
         for attempt in job.task_results:
             for block_plan in getattr(attempt.result, "block_plans", ()):
                 executed[block_plan.block_id] = block_plan
-        plan = PhysicalPlanner(self.hdfs).query_frame(path, self._annotation_for(query))
+        plan = self._planner().query_frame(path, self._annotation_for(query))
         plan.block_plans = [executed[block_id] for block_id in sorted(executed)]
         return plan
+
+    def _planner(self) -> PhysicalPlanner:
+        """The planner :meth:`plan_query`/:meth:`_executed_plan` consult.
+
+        Systems with extra planner features (HAIL's zone-map skipping) override this so
+        ``explain()`` reflects the same configuration their jobs execute with.
+        """
+        return PhysicalPlanner(self.hdfs)
 
     @staticmethod
     def _annotation_for(query):

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate an emitted ``BENCH_*.json`` perf record against the pinned schema and floors.
+
+Runs in CI right after the benchmark smoke step (stdlib only, no third-party dependencies):
+the record must carry the expected shape (``bench_id``, the three workloads, per-variant
+timings), every timed variant must have answered identically to the legacy baseline, the
+skip workload must report its skip-rate/pruned-bytes stats, and the headline
+``combined_speedup`` (kernels + zone-map skipping vs. the legacy mask pipeline, on whatever
+backend the environment offers) must clear the acceptance floor.
+
+Usage::
+
+    python tools/check_bench.py BENCH_6.json
+    python tools/check_bench.py --min-speedup 2.0 BENCH_6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+#: The acceptance floor: kernels + skipping combined vs. the legacy pipeline.
+MIN_COMBINED_SPEEDUP = 2.0
+
+#: Workloads every record must contain.
+REQUIRED_WORKLOADS = ("filter_micro", "skip_micro", "figure_workload")
+
+
+def _check_variants(errors: list[str], workload: str, entry: dict) -> None:
+    variants = entry.get("variants")
+    if not isinstance(variants, dict) or len(variants) < 2:
+        errors.append(f"{workload}: expected a 'variants' dict with a baseline and a kernel")
+        return
+    for name, variant in variants.items():
+        seconds = variant.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds <= 0:
+            errors.append(f"{workload}/{name}: 'seconds' must be a positive number")
+        speedup = variant.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            errors.append(f"{workload}/{name}: 'speedup' must be a positive number")
+        if variant.get("results_identical") is not True:
+            errors.append(
+                f"{workload}/{name}: results_identical must be true — a speedup that "
+                "changes the answer is a bug, not a win"
+            )
+
+
+def check_record(record: Any, min_speedup: float = MIN_COMBINED_SPEEDUP) -> list[str]:
+    """All schema/floor violations of one parsed record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    bench_id = record.get("bench_id", "")
+    if not (isinstance(bench_id, str) and bench_id.startswith("BENCH_")):
+        errors.append("'bench_id' must be a string starting with 'BENCH_'")
+    if record.get("schema_version") != 1:
+        errors.append("'schema_version' must be 1")
+    if not isinstance(record.get("numpy_available"), bool):
+        errors.append("'numpy_available' must be a boolean")
+    workloads = record.get("workloads")
+    if not isinstance(workloads, dict):
+        return errors + ["'workloads' must be an object"]
+    for name in REQUIRED_WORKLOADS:
+        if name not in workloads:
+            errors.append(f"missing workload {name!r}")
+    for name in ("filter_micro", "skip_micro"):
+        if isinstance(workloads.get(name), dict):
+            _check_variants(errors, name, workloads[name])
+    skip = workloads.get("skip_micro")
+    if isinstance(skip, dict):
+        skip_rate = skip.get("skip_rate")
+        if not (isinstance(skip_rate, (int, float)) and 0 < skip_rate <= 1):
+            errors.append("skip_micro: 'skip_rate' must be in (0, 1] — no rows were pruned")
+        pruned_bytes = skip.get("pruned_bytes")
+        if not (isinstance(pruned_bytes, (int, float)) and pruned_bytes > 0):
+            errors.append("skip_micro: 'pruned_bytes' must be positive")
+    figure = workloads.get("figure_workload")
+    if isinstance(figure, dict):
+        if not figure.get("zone_map_skipped_blocks"):
+            errors.append("figure_workload: expected at least one zone-map-skipped block")
+    combined = record.get("combined_speedup")
+    if not isinstance(combined, (int, float)):
+        errors.append("'combined_speedup' must be a number")
+    elif combined < min_speedup:
+        errors.append(
+            f"combined_speedup {combined:.2f}x is below the {min_speedup:.1f}x floor"
+        )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="BENCH_*.json file to validate")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_COMBINED_SPEEDUP,
+        help="combined_speedup floor (default %(default)s)",
+    )
+    options = parser.parse_args(argv)
+    try:
+        with open(options.path) as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench: cannot read {options.path}: {error}", file=sys.stderr)
+        return 2
+    errors = check_record(record, min_speedup=options.min_speedup)
+    if errors:
+        for error in errors:
+            print(f"check_bench: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"check_bench: {options.path} ok — combined_speedup="
+        f"{record['combined_speedup']:.2f}x, "
+        f"skip_rate={record['workloads']['skip_micro']['skip_rate']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
