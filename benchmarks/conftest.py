@@ -19,21 +19,35 @@ from repro.experiments.report import FigureResult
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit the pinned perf record after a green benchmark session.
+    """Emit the pinned perf records after a green benchmark session.
 
-    Opt-in: set ``REPRO_BENCH_RECORD=<output path>`` (the CI smoke step sets it to
-    ``BENCH_6.json``).  The recorder lives in :mod:`benchmarks.bench_record`, which is not a
-    package module, so it is loaded by file path; quick mode keeps the hook cheap.
+    Opt-in: set ``REPRO_BENCH_RECORD=<output path>`` for the engine record (the CI smoke
+    step sets it to ``BENCH_6.json``) and/or ``REPRO_BENCH_SATURATION=<output path>`` for
+    the multi-tenant concurrency record (``BENCH_7.json``).  The engine recorder lives in
+    :mod:`benchmarks.bench_record`, which is not a package module, so it is loaded by file
+    path; quick mode keeps the hook cheap.
     """
-    out_path = os.environ.get("REPRO_BENCH_RECORD", "").strip()
-    if not out_path or exitstatus != 0:
+    if exitstatus != 0:
         return
-    recorder_path = pathlib.Path(__file__).with_name("bench_record.py")
-    spec = importlib.util.spec_from_file_location("bench_record", recorder_path)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    payload = module.write_record(out_path, repeats=2)
-    print(f"\nwrote {out_path}: combined_speedup={payload['combined_speedup']:.2f}x")
+    out_path = os.environ.get("REPRO_BENCH_RECORD", "").strip()
+    if out_path:
+        recorder_path = pathlib.Path(__file__).with_name("bench_record.py")
+        spec = importlib.util.spec_from_file_location("bench_record", recorder_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        payload = module.write_record(out_path, repeats=2)
+        print(f"\nwrote {out_path}: combined_speedup={payload['combined_speedup']:.2f}x")
+    saturation_path = os.environ.get("REPRO_BENCH_SATURATION", "").strip()
+    if saturation_path:
+        # The saturation recorder is a package module (repro.experiments.saturation), so no
+        # file-path loading is needed; the CI smoke step sets the env var to BENCH_7.json.
+        from repro.experiments.saturation import write_record as write_saturation
+
+        payload = write_saturation(saturation_path)
+        print(
+            f"\nwrote {saturation_path}: best_speedup_vs_serial="
+            f"{payload['best_speedup_vs_serial']:.2f}x"
+        )
 
 
 @pytest.fixture(scope="session")

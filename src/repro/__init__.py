@@ -41,6 +41,7 @@ True
 
 from repro._version import __version__
 from repro.api import (
+    BatchExecutionError,
     BatchResult,
     Dataset,
     LogicalQuery,
@@ -49,11 +50,13 @@ from repro.api import (
     SessionStats,
     UnsupportedExpressionError,
     col,
+    run_multi_tenant_batch,
 )
 from repro.workloads.query import Query
 
 __all__ = [
     "__version__",
+    "BatchExecutionError",
     "BatchResult",
     "Dataset",
     "LogicalQuery",
@@ -63,4 +66,5 @@ __all__ = [
     "SessionStats",
     "UnsupportedExpressionError",
     "col",
+    "run_multi_tenant_batch",
 ]

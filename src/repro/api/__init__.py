@@ -15,7 +15,10 @@ planner.
   conjunctions, merging per-attribute ranges, ordering clauses by estimated selectivity);
 - :mod:`repro.api.session` — :class:`Session` (owns cluster + systems + cost model),
   :class:`Dataset` (lazy ``where``/``select`` builder with ``collect``/``explain``/``submit``),
-  batched workload execution (:meth:`Session.run_batch`) and per-session adaptive statistics
+  batched workload execution (:meth:`Session.run_batch`, concurrent when the deployment
+  configures ``max_concurrent_jobs``), multi-tenant drains over one shared deployment
+  (:meth:`Session.attach` + :func:`run_multi_tenant_batch`), partial-result-preserving
+  failures (:class:`BatchExecutionError`) and per-session adaptive statistics
   (:meth:`Session.stats`).
 
 The compiled :class:`~repro.workloads.query.Query` and ``system.run_query(query, path)``
@@ -31,9 +34,18 @@ from repro.api.expressions import (
     col,
 )
 from repro.api.logical import LogicalQuery, estimated_selectivity_rank, normalize
-from repro.api.session import BatchResult, Dataset, QueryHandle, Session, SessionStats
+from repro.api.session import (
+    BatchExecutionError,
+    BatchResult,
+    Dataset,
+    QueryHandle,
+    Session,
+    SessionStats,
+    run_multi_tenant_batch,
+)
 
 __all__ = [
+    "BatchExecutionError",
     "BatchResult",
     "ColumnExpr",
     "ComparisonExpr",
@@ -47,4 +59,5 @@ __all__ = [
     "col",
     "estimated_selectivity_rank",
     "normalize",
+    "run_multi_tenant_batch",
 ]

@@ -20,6 +20,13 @@ express.  The session therefore:
 expressions, ``select(...)`` sets the projection, and ``collect()`` / ``explain()`` /
 ``submit()`` compile to the stable :class:`~repro.workloads.query.Query` form and hand it to
 the engine.
+
+Sessions are also the tenancy boundary of a shared deployment: :meth:`Session.attach` opens
+a sibling session over the *same* systems (one HDFS, one runner, one adaptive tuner) with
+isolated per-tenant statistics, and :func:`run_multi_tenant_batch` drains several tenants'
+submitted queries through the JobTracker's concurrent scheduler in one interleaved batch —
+each tenant's handles resolve as its jobs finish, and the shared tuner sees every tenant's
+jobs, so concurrent workloads cooperatively converge the index pool.
 """
 
 from __future__ import annotations
@@ -194,6 +201,22 @@ class BatchResult:
         return self.results[index]
 
 
+class BatchExecutionError(RuntimeError):
+    """A mid-batch failure that *preserves* the work already completed.
+
+    ``Session.run_batch`` records every finished query into the session statistics as it
+    goes, so silently dropping the :class:`BatchResult` under construction on an exception
+    would let stats and results diverge.  Instead the partial batch travels on the error:
+    ``partial`` holds the completed results (in submission order), ``failed_index`` the
+    position of the item whose execution raised, and ``__cause__`` the original exception.
+    """
+
+    def __init__(self, message: str, partial: BatchResult, failed_index: int) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.failed_index = failed_index
+
+
 # --------------------------------------------------------------------------- session stats
 @dataclass(frozen=True)
 class SessionStats:
@@ -219,6 +242,9 @@ class SessionStats:
     #: Live per-attribute offer rates (the split tuner ledgers), when the system tunes per
     #: attribute; ``None`` for global-ledger or untuned deployments.
     tuner_attribute_rates: Optional[dict[str, float]] = None
+    #: The tenant this session submits jobs as (``"default"`` unless the session was opened
+    #: with a tenant name or via :meth:`Session.attach`).
+    tenant: str = "default"
 
     def counter(self, name: str) -> float:
         """Session total of one MapReduce counter (0 when never incremented)."""
@@ -307,6 +333,31 @@ class SessionStats:
         """Adaptive replicas the balancer's skew repair moved across the session."""
         return int(self.counter(Counters.PLACEMENT_MIGRATED))
 
+    @property
+    def tenant_jobs_admitted(self) -> int:
+        """Jobs of this tenant the concurrent scheduler admitted into the in-flight set."""
+        return int(self.counter(Counters.TENANT_JOBS_ADMITTED))
+
+    @property
+    def tenant_admission_waits(self) -> int:
+        """Jobs held at the admission gate because the tenant was at its in-flight limit."""
+        return int(self.counter(Counters.TENANT_ADMISSION_WAITS))
+
+    @property
+    def tenant_quota_deferrals(self) -> int:
+        """Episodes where a job's next task waited for the tenant's slot quota to free up."""
+        return int(self.counter(Counters.TENANT_QUOTA_DEFERRALS))
+
+    @property
+    def sched_queue_wait_seconds(self) -> float:
+        """Summed simulated seconds this tenant's jobs queued before their first launch."""
+        return self.counter(Counters.SCHED_QUEUE_WAIT_SECONDS)
+
+    @property
+    def sched_jobs_interleaved(self) -> int:
+        """Jobs whose map phase overlapped another in-flight job on the shared slots."""
+        return int(self.counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED))
+
 
 # --------------------------------------------------------------------------- the session
 class Session:
@@ -319,12 +370,18 @@ class Session:
     or let :meth:`Session.deploy` build a fresh deployment by system name.  The first system
     is the *default* — the one ``dataset().collect()`` and :meth:`stats` address when no
     ``system=`` is given — unless ``default=`` names another.
+
+    ``tenant`` names the workload owner this session submits jobs as: several sessions can
+    :meth:`attach` to one deployment under different tenant names, each with isolated
+    counters/statistics, while the concurrent scheduler's admission control, slot quotas and
+    fair queueing act on the tenant labels (see :func:`run_multi_tenant_batch`).
     """
 
     def __init__(
         self,
         systems: Union[BaseSystem, Sequence[BaseSystem]],
         default: Optional[str] = None,
+        tenant: str = "default",
     ) -> None:
         if isinstance(systems, BaseSystem):
             systems = [systems]
@@ -339,6 +396,9 @@ class Session:
         self._default = default if default is not None else systems[0].name
         if self._default not in self._systems:
             raise KeyError(f"default system {self._default!r} is not part of this session")
+        if not tenant:
+            raise ValueError("tenant must be a non-empty name")
+        self.tenant = tenant
         #: Upload reports per path per system, in upload order.
         self.upload_reports: dict[str, dict[str, SystemUploadReport]] = {}
         self._paths: list[str] = []
@@ -361,6 +421,7 @@ class Session:
         replication: int = 3,
         data_scale: float = 1.0,
         default: Optional[str] = None,
+        tenant: str = "default",
     ) -> "Session":
         """Build a fresh deployment by system name ("HAIL", "Hadoop++", "Hadoop").
 
@@ -399,7 +460,23 @@ class Session:
                 built.append(HadoopSystem(cluster, cost=cost, replication=replication))
             else:
                 raise KeyError(f"unknown system {name!r}; known: HAIL, Hadoop++, Hadoop")
-        return cls(built, default=default)
+        return cls(built, default=default, tenant=tenant)
+
+    def attach(self, tenant: str) -> "Session":
+        """Open a sibling session over the **same** deployment under another tenant name.
+
+        The new session shares the system objects — one HDFS, one MapReduce runner, one
+        adaptive/lifecycle state per system, and the upload catalog (datasets uploaded
+        through either session are visible to both) — but keeps its own counters, runtime
+        totals and pending queue, so per-tenant statistics never bleed.  Adaptive builds one
+        tenant pays for benefit every attached tenant: that shared-tuner cooperation is the
+        multi-tenant premise (see ``docs/scheduling.md``).
+        """
+        peer = Session(list(self._systems.values()), default=self._default, tenant=tenant)
+        # Shared upload catalog: the deployment's datasets, not per-tenant copies.
+        peer._paths = self._paths
+        peer.upload_reports = self.upload_reports
+        return peer
 
     # ------------------------------------------------------------------ introspection
     @property
@@ -426,7 +503,13 @@ class Session:
 
     @property
     def pending(self) -> tuple[QueryHandle, ...]:
-        """Submitted-but-unexecuted query handles, in submission order."""
+        """Submitted-but-unexecuted query handles, in submission order.
+
+        Handles leave the queue the moment they resolve (inside :meth:`run` or a batch
+        drain), so a long-lived session does not accumulate executed handles; the ``done``
+        filter only guards handles resolved out-of-band (e.g. run explicitly before the
+        drain).
+        """
         return tuple(handle for handle in self._pending if not handle.done)
 
     # ------------------------------------------------------------------ data lifecycle
@@ -486,6 +569,7 @@ class Session:
         self._record(target_name, result)
         if isinstance(item, QueryHandle):
             item._result = result
+            self._discard_pending(item)
         return result
 
     def run_batch(
@@ -498,17 +582,66 @@ class Session:
 
         With ``items=None`` the session drains every query submitted via
         :meth:`Dataset.submit` (each on the system it was submitted to).  All queries of a
-        batch flow through each system's single MapReduce runner back to back, which is what
-        lets adaptive indexing converge *within* the batch: builds committed by query *k* are
+        batch flow through each system's single MapReduce runner, which is what lets
+        adaptive indexing converge *within* the batch: builds committed by query *k* are
         index scans for query *k+1*, the lifecycle manager runs after every job, and the
         auto-tuner's knob updates feed straight into the next query.
+
+        On a deployment configured for concurrency (``HailConfig.max_concurrent_jobs > 1``)
+        each system's share of the batch runs through the JobTracker's concurrent scheduler
+        — map phases interleave over the shared slots, handles resolve as their jobs finish,
+        and every ``runtime_s`` is a latency on the shared timeline.  By default execution
+        is strictly serial, in submission order, exactly as before.
+
+        A query that raises mid-batch aborts the drain with a
+        :class:`BatchExecutionError` carrying the completed results, so the session
+        statistics (already updated per finished query) and the returned results can never
+        diverge.
         """
         if items is None:
             items = list(self.pending)
-        batch = BatchResult()
-        for item in items:
-            batch.results.append(self.run(item, system=system, path=path))
-        return batch
+        items = list(items)
+        resolved = [self._resolve(item, system, path) for item in items]
+        groups: dict[str, list[int]] = {}
+        for position, (_, _, target_name) in enumerate(resolved):
+            groups.setdefault(target_name, []).append(position)
+        policies = {name: self.system(name).concurrency_policy() for name in groups}
+        results: list[Optional[QueryResult]] = [None] * len(items)
+
+        if not any(policies.values()):
+            # The classic serial drain: one job at a time, strict submission order.
+            for position, item in enumerate(items):
+                try:
+                    results[position] = self.run(item, system=system, path=path)
+                except Exception as error:
+                    raise self._batch_error(items, results, position, error) from error
+            return BatchResult(results=list(results))
+
+        for target_name, positions in groups.items():
+            policy = policies[target_name]
+            if policy is None or len(positions) <= 1:
+                for position in positions:
+                    try:
+                        results[position] = self.run(items[position], system=system, path=path)
+                    except Exception as error:
+                        raise self._batch_error(items, results, position, error) from error
+                continue
+            target = self.system(target_name)
+            group_items = [(resolved[p][0], resolved[p][1]) for p in positions]
+            try:
+                group_results = target.run_queries(
+                    group_items, tenants=[self.tenant] * len(group_items)
+                )
+            except Exception as error:
+                raise self._batch_error(items, results, positions[0], error) from error
+            for position, result in zip(positions, group_results):
+                results[position] = result
+                self._record(target_name, result)
+                item = items[position]
+                if isinstance(item, QueryHandle):
+                    item._result = result
+                    self._discard_pending(item)
+        return BatchResult(results=list(results))
 
     def explain(
         self, item: Runnable, system: Optional[str] = None, path: Optional[str] = None
@@ -556,6 +689,7 @@ class Session:
             tuner_offer_rate=tuner_offer_rate,
             tuner_budget=tuner_budget,
             tuner_attribute_rates=tuner_attribute_rates,
+            tenant=self.tenant,
         )
 
     # ------------------------------------------------------------------ internals
@@ -571,6 +705,29 @@ class Session:
         handle = QueryHandle(query=query, path=path, system=target)
         self._pending.append(handle)
         return handle
+
+    def _discard_pending(self, handle: QueryHandle) -> None:
+        """Drop a resolved handle from the pending queue (the unbounded-growth fix)."""
+        try:
+            self._pending.remove(handle)
+        except ValueError:
+            pass  # ran ad hoc, never enqueued (e.g. a handle passed to run() twice)
+
+    def _batch_error(
+        self,
+        items: Sequence[Runnable],
+        results: Sequence[Optional[QueryResult]],
+        position: int,
+        error: Exception,
+    ) -> BatchExecutionError:
+        """Wrap a mid-batch failure so the completed results travel with the exception."""
+        completed = [result for result in results if result is not None]
+        return BatchExecutionError(
+            f"run_batch failed on item {position} ({error}); {len(completed)} of "
+            f"{len(items)} queries completed — see .partial for their results",
+            partial=BatchResult(results=completed),
+            failed_index=position,
+        )
 
     def _record(self, system: str, result: QueryResult) -> None:
         """Fold one query result into the per-system session statistics."""
@@ -614,4 +771,68 @@ class Session:
         return f"q{next(self._query_names)}@{path}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Session(systems={list(self._systems)}, default={self._default!r})"
+        return (
+            f"Session(systems={list(self._systems)}, default={self._default!r}, "
+            f"tenant={self.tenant!r})"
+        )
+
+
+# --------------------------------------------------------------------------- multi-tenant
+def run_multi_tenant_batch(
+    sessions: Sequence[Session], system: Optional[str] = None
+) -> dict[str, BatchResult]:
+    """Drain several tenants' pending queries through one shared deployment, interleaved.
+
+    ``sessions`` are sibling sessions of one deployment (built with :meth:`Session.attach`)
+    carrying distinct tenant names; every query previously deferred via
+    :meth:`Dataset.submit` is collected — round-robin across the tenants, modelling
+    simultaneous arrival — and executed as **one** concurrent batch per shared system, so
+    the JobTracker's admission control, slot quotas and queue policy arbitrate between the
+    tenants for real.  Each handle resolves as its job finishes, its result is recorded into
+    the *owning* session's statistics (isolation), and the deployment's shared tuner
+    observes every tenant's jobs (cooperation).  Returns the per-tenant batches, each in its
+    session's submission order.
+
+    On a deployment without concurrency configured the same call degrades gracefully to
+    serial execution — results and statistics are identical to per-session drains.
+    """
+    sessions = list(sessions)
+    tenants = [session.tenant for session in sessions]
+    if len(set(tenants)) != len(tenants):
+        raise ValueError(f"sessions must carry distinct tenant names, got {tenants}")
+    per_session: dict[str, list[QueryHandle]] = {
+        session.tenant: list(session.pending) for session in sessions
+    }
+    # Round-robin merge: tenant A's first query, tenant B's first, A's second, ... so no
+    # tenant's whole backlog is "first" — arrival order is what quotas should arbitrate.
+    entries: list[tuple[Session, QueryHandle]] = []
+    for rank in range(max((len(v) for v in per_session.values()), default=0)):
+        for session in sessions:
+            handles = per_session[session.tenant]
+            if rank < len(handles):
+                entries.append((session, handles[rank]))
+    # Group per shared system *object*: attached sessions hand out the same instance, so
+    # one group = one deployment = one concurrent scheduler invocation.
+    groups: dict[int, list[tuple[Session, QueryHandle]]] = {}
+    targets: dict[int, tuple[BaseSystem, str]] = {}
+    for session, handle in entries:
+        target_name = handle.system if system is None else system
+        target = session.system(target_name)
+        key = id(target)
+        targets[key] = (target, target_name)
+        groups.setdefault(key, []).append((session, handle))
+    for key, group in groups.items():
+        target, target_name = targets[key]
+        items = [(handle.query, handle.path) for _, handle in group]
+        labels = [session.tenant for session, _ in group]
+        group_results = target.run_queries(items, tenants=labels)
+        for (session, handle), result in zip(group, group_results):
+            session._record(target_name, result)
+            handle._result = result
+            session._discard_pending(handle)
+    return {
+        session.tenant: BatchResult(
+            results=[handle.result() for handle in per_session[session.tenant]]
+        )
+        for session in sessions
+    }

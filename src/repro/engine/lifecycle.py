@@ -83,6 +83,10 @@ class JobObservation:
         Per-attribute slices of the five quantities above (from the ``COUNTER[attr]``
         counters) — what the per-attribute tuner ledgers and the placement balancer's demand
         tracking consume.  Empty dicts for jobs that predate the per-attribute counters.
+    tenant:
+        The tenant whose job produced this observation (``None`` for serial, single-tenant
+        runs).  A tuner shared by several sessions of one deployment records it per report,
+        so operators can see which tenants drove convergence.
     """
 
     builds_committed: int = 0
@@ -96,9 +100,15 @@ class JobObservation:
     uses_by_attribute: dict = field(default_factory=dict)
     saved_seconds_by_attribute: dict = field(default_factory=dict)
     fallbacks_by_attribute: dict = field(default_factory=dict)
+    tenant: Optional[str] = None
 
     @classmethod
-    def from_counters(cls, counters: "Counters", useful_reader_seconds: float) -> "JobObservation":
+    def from_counters(
+        cls,
+        counters: "Counters",
+        useful_reader_seconds: float,
+        tenant: Optional[str] = None,
+    ) -> "JobObservation":
         """Snapshot the adaptive-indexing counters of one job.
 
         ``useful_reader_seconds`` is build-free by contract: the runner already subtracted
@@ -107,6 +117,7 @@ class JobObservation:
         from repro.mapreduce.counters import Counters
 
         return cls(
+            tenant=tenant,
             builds_committed=int(counters.value(Counters.ADAPTIVE_INDEXES_COMMITTED)),
             build_seconds=counters.value(Counters.ADAPTIVE_BUILD_SECONDS),
             adaptive_uses=int(counters.value(Counters.ADAPTIVE_INDEX_USES)),
@@ -1053,6 +1064,9 @@ class AdaptiveLifecycleManager:
         self.tuner = tuner
         self.balancer = balancer
         self.reports: list[LifecycleReport] = []
+        #: Jobs observed per tenant (tagged observations only — serial runs stay untagged).
+        #: A deployment shared by several sessions shows here which tenants fed the tuner.
+        self.tenant_jobs: dict[str, int] = {}
 
     @classmethod
     def from_config(cls, config) -> Optional["AdaptiveLifecycleManager"]:
@@ -1127,6 +1141,10 @@ class AdaptiveLifecycleManager:
         gaps live for at most one job.  ``cost`` (the runner's cost model) only prices the
         balancer's background I/O for reporting; it never changes what the balancer does.
         """
+        if observation.tenant is not None:
+            self.tenant_jobs[observation.tenant] = (
+                self.tenant_jobs.get(observation.tenant, 0) + 1
+            )
         if self.tuner is not None:
             self.tuner.observe(observation)
         evicted = evict_under_pressure(hdfs, self.pressure)

@@ -19,6 +19,8 @@ Overview (see DESIGN.md for the full per-experiment index):
   pressure: eviction + auto-tuned knobs through a workload shift (extension)
 - :mod:`repro.experiments.placement`  — index-local task fraction through node loss and
   eviction storms, placement balancer on vs. off (extension)
+- :mod:`repro.experiments.saturation` — multi-tenant saturation: throughput and latency
+  percentiles vs. ``max_concurrent_jobs`` on one shared deployment (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
@@ -32,6 +34,7 @@ from repro.experiments import (
     failover,
     placement,
     queries,
+    saturation,
     scaleout,
     scaleup,
     splitting,
@@ -51,6 +54,7 @@ __all__ = [
     "failover",
     "placement",
     "queries",
+    "saturation",
     "scaleout",
     "scaleup",
     "splitting",

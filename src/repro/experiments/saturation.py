@@ -1,0 +1,252 @@
+"""Multi-tenant saturation: throughput and latency percentiles vs. concurrency level.
+
+The paper evaluates HAIL one job at a time; a shared deployment is never idle like that.  This
+experiment queues a few hundred mixed-tenant queries against **one** HAIL deployment and sweeps
+``HailConfig.max_concurrent_jobs`` — the only knob that differs between sweep points — to
+measure what the concurrent JobTracker scheduler buys under saturation:
+
+- **throughput** (queries per simulated second): completed jobs over the batch makespan.
+  Serial execution pays one full map phase after another; interleaving fills the slots a
+  narrow job leaves idle with the next tenant's work.
+- **latency percentiles** (p50/p99 simulated seconds): each query's latency is measured on
+  the shared batch timeline, *including* time spent queued behind other in-flight work.  At
+  level 1 that is the classic pipeline latency (the k-th query waits for the k-1 before it);
+  at higher levels ``JobResult.runtime_s`` already is the absolute finish time of the job's
+  pipeline on the shared clock.
+- **fidelity**: every sweep point must return bit-identical per-query results to the serial
+  baseline — interleaving may never change answers — and at levels above 1 both tenants'
+  jobs must genuinely interleave (strict window overlap, counted by the
+  ``SCHED_QUEUE_JOBS_INTERLEAVED`` counter), or the "concurrency" would be serial execution
+  wearing a new API.
+
+Two tenants (:data:`TENANTS`) attach to the deployment via :meth:`~repro.api.Session.attach`
+and submit interleaved backlogs drained by :func:`~repro.api.run_multi_tenant_batch`, so the
+sweep exercises the whole concurrent service layer — admission, per-tenant accounting, shared
+adaptive tuner — not just the scheduler in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.api import Session, col, run_multi_tenant_batch
+from repro.datagen.synthetic import VALUE_RANGE, SyntheticGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureResult
+from repro.hail.config import HailConfig
+from repro.mapreduce.counters import Counters
+
+#: Columns of the saturation curve (one row per concurrency level).
+_SATURATION_COLUMNS = [
+    "max_concurrent_jobs",
+    "jobs",
+    "makespan_s",
+    "throughput_qps",
+    "latency_p50_s",
+    "latency_p99_s",
+    "speedup_vs_serial",
+    "interleaved_jobs",
+    "tenants_interleaved",
+    "quota_deferrals",
+    "admission_waits",
+    "results_identical",
+]
+
+#: The tenants sharing the deployment; two is the minimum that makes "multi-tenant" honest.
+TENANTS = ("alice", "bob")
+
+#: The attributes the mixed workload filters on — one indexed replica each at replication 3.
+SATURATION_ATTRIBUTES = ("f1", "f2", "f3")
+
+#: Where the simulated dataset lives in every deployment of the sweep.
+_PATH = "/data/saturation"
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation surprises)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _deploy(config: ExperimentConfig, level: int, records, schema) -> list[Session]:
+    """One fresh deployment per sweep point, with every tenant session attached to it."""
+    hail_config = HailConfig.for_attributes(
+        SATURATION_ATTRIBUTES, functional_partition_size=1
+    ).with_concurrency(max_jobs=level)
+    first = Session.deploy(
+        nodes=config.nodes, hail_config=hail_config, tenant=TENANTS[0]
+    )
+    first.upload(_PATH, records, schema, rows_per_block=config.rows_per_block)
+    return [first] + [first.attach(tenant) for tenant in TENANTS[1:]]
+
+
+def _submit_backlog(sessions: Sequence[Session], num_queries: int) -> None:
+    """Queue ``num_queries`` mixed filters, spread round-robin across the tenants.
+
+    Queries cycle through the indexed attributes with varying (deterministic) range bounds,
+    so consecutive jobs differ in selectivity and map-phase width — the non-uniformity that
+    gives an interleaving scheduler slack to exploit.
+    """
+    for i in range(num_queries):
+        session = sessions[i % len(sessions)]
+        attribute = SATURATION_ATTRIBUTES[i % len(SATURATION_ATTRIBUTES)]
+        # Selectivity sweeps 5%..25% as i advances; lo shifts so ranges are distinct.
+        width = int(VALUE_RANGE * (0.05 + 0.02 * (i % 11)))
+        lo = (i * 997) % (VALUE_RANGE - width)
+        dataset = (
+            session.dataset(_PATH)
+            .where(col(attribute).between(lo, lo + width))
+            .named(f"sat-{i}-{attribute}")
+        )
+        dataset.submit()
+
+
+def _drain(sessions: Sequence[Session]) -> list:
+    """Drain every tenant's backlog as one shared concurrent batch; results in global order.
+
+    The returned list is in the round-robin submission order (tenant A's first, tenant B's
+    first, A's second, ...) — the same global order for every sweep point, so per-index
+    result comparison against the serial baseline is meaningful.
+    """
+    per_tenant = run_multi_tenant_batch(sessions)
+    merged = []
+    batches = [list(per_tenant[session.tenant]) for session in sessions]
+    for rank in range(max(len(batch) for batch in batches)):
+        for batch in batches:
+            if rank < len(batch):
+                merged.append(batch[rank])
+    return merged
+
+
+def saturation_curve(
+    config: Optional[ExperimentConfig] = None,
+    num_queries: int = 36,
+    levels: Sequence[int] = (1, 2, 4, 8),
+) -> FigureResult:
+    """Throughput and latency percentiles of a saturated mixed-tenant backlog per level.
+
+    ``levels`` must start with 1: the serial sweep point is both the latency baseline and
+    the reference answer set every concurrent point is checked against, bit for bit.
+    """
+    config = config or ExperimentConfig.small()
+    levels = list(levels)
+    if not levels or levels[0] != 1:
+        raise ValueError(f"levels must start with the serial baseline 1, got {levels}")
+    generator = SyntheticGenerator(seed=config.seed)
+    records = generator.generate(config.num_records)
+    schema = generator.schema
+
+    result = FigureResult(
+        figure="Saturation curve",
+        description=(
+            f"{num_queries} mixed queries from {len(TENANTS)} tenants on one shared "
+            f"{config.nodes}-node HAIL deployment; max_concurrent_jobs swept over {levels}"
+        ),
+        columns=list(_SATURATION_COLUMNS),
+    )
+
+    baseline_records: Optional[list[list[tuple]]] = None
+    baseline_makespan = 0.0
+
+    for level in levels:
+        sessions = _deploy(config, level, records, schema)
+        _submit_backlog(sessions, num_queries)
+        results = _drain(sessions)
+
+        if level == 1:
+            # Serial latency of the k-th query = everything executed before it, plus itself.
+            latencies, elapsed = [], 0.0
+            for query_result in results:
+                elapsed += query_result.runtime_s
+                latencies.append(elapsed)
+            makespan = elapsed
+        else:
+            # Concurrent runtimes are absolute finish times on the shared batch timeline.
+            latencies = [query_result.runtime_s for query_result in results]
+            makespan = max(latencies)
+
+        answer = [query_result.sorted_records() for query_result in results]
+        if baseline_records is None:
+            baseline_records = answer
+            baseline_makespan = makespan
+        identical = answer == baseline_records
+
+        interleaved = sum(
+            int(r.job.counters.value(Counters.SCHED_QUEUE_JOBS_INTERLEAVED))
+            for r in results
+        )
+        stats = [session.stats() for session in sessions]
+        tenants_interleaved = sum(
+            1 for s in stats if s.counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED) > 0
+        )
+        result.add_row(
+            max_concurrent_jobs=level,
+            jobs=len(results),
+            makespan_s=makespan,
+            throughput_qps=len(results) / makespan if makespan > 0 else 0.0,
+            latency_p50_s=_percentile(latencies, 0.50),
+            latency_p99_s=_percentile(latencies, 0.99),
+            speedup_vs_serial=baseline_makespan / makespan if makespan > 0 else 0.0,
+            interleaved_jobs=interleaved,
+            tenants_interleaved=tenants_interleaved,
+            quota_deferrals=sum(
+                s.counter(Counters.TENANT_QUOTA_DEFERRALS) for s in stats
+            ),
+            admission_waits=sum(
+                s.counter(Counters.TENANT_ADMISSION_WAITS) for s in stats
+            ),
+            results_identical=identical,
+        )
+
+    result.notes = (
+        "latency includes queueing on the shared timeline (serial = prefix sums of "
+        "runtimes); results_identical pins every sweep point to the serial baseline's "
+        "answers; tenants_interleaved counts tenants whose jobs strictly overlapped "
+        "another in-flight job's window."
+    )
+    return result
+
+
+# --------------------------------------------------------------------------- pinned record
+def write_record(path: str, result: Optional[FigureResult] = None) -> dict:
+    """Emit the pinned BENCH_7 saturation record (validated by ``tools/check_bench.py``)."""
+    if result is None:
+        result = saturation_curve()
+    serial = result.row_for("max_concurrent_jobs", 1)
+    concurrent = result.rows[-1]
+    payload = {
+        "bench_id": "BENCH_7",
+        "kind": "saturation",
+        "schema_version": 1,
+        "version": __version__,
+        "tenants": len(TENANTS),
+        "num_queries": serial["jobs"],
+        "levels": [
+            {
+                "max_concurrent_jobs": row["max_concurrent_jobs"],
+                "throughput_qps": row["throughput_qps"],
+                "latency_p50_s": row["latency_p50_s"],
+                "latency_p99_s": row["latency_p99_s"],
+                "makespan_s": row["makespan_s"],
+                "speedup_vs_serial": row["speedup_vs_serial"],
+                "interleaved_jobs": row["interleaved_jobs"],
+                "tenants_interleaved": row["tenants_interleaved"],
+                "results_identical": row["results_identical"],
+            }
+            for row in result.rows
+        ],
+        "best_speedup_vs_serial": max(row["speedup_vs_serial"] for row in result.rows),
+        "best_throughput_qps": max(row["throughput_qps"] for row in result.rows),
+        "serial_throughput_qps": serial["throughput_qps"],
+        "results_identical": all(row["results_identical"] for row in result.rows),
+        "saturated_tenants_interleaved": concurrent["tenants_interleaved"],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload

@@ -117,6 +117,23 @@ class HailConfig:
         the payload's per-partition synopsis.  Both layers fail closed — any synopsis doubt
         degrades to a full scan, never to a dropped row — and skipping changes what is *read*,
         never what is returned.
+    max_concurrent_jobs:
+        Admission gate of the concurrent service layer (off by default: ``1`` reproduces
+        strictly serial execution, keeping the Figure 6/7 baselines bit-identical): how many
+        jobs the JobTracker keeps *in flight* at once, interleaving their map tasks over the
+        shared slot pool (:class:`~repro.mapreduce.job_tracker.ConcurrencyPolicy`).  Batch
+        drains (``Session.run_batch``, ``run_multi_tenant_batch``) use it; single
+        ``session.run`` calls are always serial.
+    scheduler_queue_policy:
+        How a freed slot picks among eligible in-flight jobs: ``"fair"`` serves the tenant
+        with the fewest running map tasks (ties: least-served job, then submission order),
+        ``"fifo"`` always serves the oldest admitted job.
+    tenant_slot_quota:
+        Cap on one tenant's *simultaneously running* map tasks across all its in-flight jobs
+        (``None`` = unlimited); a saturating tenant cannot occupy every slot.
+    tenant_admission_limit:
+        Cap on one tenant's simultaneously *in-flight jobs* (``None`` = unlimited); jobs
+        beyond it wait at the admission gate while other tenants' jobs overtake them.
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -144,6 +161,10 @@ class HailConfig:
     placement_rebuilds_per_job: int = 2
     placement_migrations_per_job: int = 4
     zone_maps: bool = False
+    max_concurrent_jobs: int = 1
+    scheduler_queue_policy: str = "fair"
+    tenant_slot_quota: Optional[int] = None
+    tenant_admission_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -179,6 +200,10 @@ class HailConfig:
             raise ValueError("placement skew watermarks must satisfy 1 <= low <= high")
         if self.placement_rebuilds_per_job < 0 or self.placement_migrations_per_job < 0:
             raise ValueError("placement per-job work bounds must be non-negative")
+        # Concurrency knob validation lives in ConcurrencyPolicy (the class that enforces
+        # them at scheduling time); constructing a throwaway policy keeps the rule in one
+        # place — exactly the DiskPressurePolicy idiom above.
+        self.concurrency_policy()
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -198,6 +223,22 @@ class HailConfig:
         if 0 <= replica_position < len(self.index_attributes):
             return self.index_attributes[replica_position]
         return None
+
+    def concurrency_policy(self):
+        """The :class:`~repro.mapreduce.job_tracker.ConcurrencyPolicy` these knobs describe.
+
+        Always constructible (the policy validates the knobs); whether a deployment actually
+        *uses* it for batch drains is decided by ``HailSystem.concurrency_policy()``, which
+        returns ``None`` at the default ``max_concurrent_jobs=1``.
+        """
+        from repro.mapreduce.job_tracker import ConcurrencyPolicy
+
+        return ConcurrencyPolicy(
+            max_concurrent_jobs=self.max_concurrent_jobs,
+            queue_policy=self.scheduler_queue_policy,
+            tenant_slot_quota=self.tenant_slot_quota,
+            tenant_admission_limit=self.tenant_admission_limit,
+        )
 
     # ------------------------------------------------------------------ builders
     @classmethod
@@ -297,6 +338,29 @@ class HailConfig:
     def with_zone_maps(self, enabled: bool = True) -> "HailConfig":
         """Copy of this configuration with zone-map data skipping toggled."""
         return replace(self, zone_maps=enabled)
+
+    def with_concurrency(
+        self,
+        max_jobs: Optional[int] = None,
+        queue_policy: Optional[str] = None,
+        slot_quota: Optional[int] = None,
+        admission_limit: Optional[int] = None,
+    ) -> "HailConfig":
+        """Copy of this configuration with concurrent-service knobs toggled/tuned.
+
+        Only the arguments given are changed; ``max_jobs`` above 1 is what switches batch
+        drains from serial to interleaved execution.
+        """
+        overrides: dict = {}
+        if max_jobs is not None:
+            overrides["max_concurrent_jobs"] = max_jobs
+        if queue_policy is not None:
+            overrides["scheduler_queue_policy"] = queue_policy
+        if slot_quota is not None:
+            overrides["tenant_slot_quota"] = slot_quota
+        if admission_limit is not None:
+            overrides["tenant_admission_limit"] = admission_limit
+        return replace(self, **overrides)
 
     def with_replication(self, replication: int) -> "HailConfig":
         """Copy of this configuration with a different replication factor."""

@@ -119,6 +119,16 @@ class HailSystem(BaseSystem):
         """Planner matching this deployment's jobs: zone-map skipping follows the config."""
         return PhysicalPlanner(self.hdfs, zone_maps=self.config.zone_maps)
 
+    def concurrency_policy(self):
+        """Batch drains interleave jobs once ``HailConfig.max_concurrent_jobs`` exceeds 1.
+
+        ``None`` at the default of 1, so every existing entry point (and the pinned figure
+        goldens) keeps strictly serial execution.
+        """
+        if self.config.max_concurrent_jobs <= 1:
+            return None
+        return self.config.concurrency_policy()
+
     # ------------------------------------------------------------------ introspection
     def index_coverage(self, path: str, attribute: str) -> float:
         """Fraction of blocks with an alive replica indexed on ``attribute``."""

@@ -67,6 +67,21 @@ class Counters:
     PLACEMENT_MIGRATED = "PLACEMENT_MIGRATED"
     #: Replica bytes the balancer moved or re-created (rebuilds + migrations).
     PLACEMENT_BYTES_MOVED = "PLACEMENT_BYTES_MOVED"
+    #: Multi-tenant concurrent execution (only incremented by the concurrent scheduler,
+    #: so serial jobs — and the pinned Figure 6/7 golden runs — observe no new counters):
+    #: jobs of this tenant admitted into the shared in-flight set, ...
+    TENANT_JOBS_ADMITTED = "TENANT_JOBS_ADMITTED"
+    #: ... jobs that had to wait at the admission gate because the tenant already had
+    #: ``tenant_admission_limit`` jobs in flight (one increment per held-back job), ...
+    TENANT_ADMISSION_WAITS = "TENANT_ADMISSION_WAITS"
+    #: ... and episodes where an admitted job's next task was deferred because the tenant
+    #: was already running ``tenant_slot_quota`` map tasks (one increment per episode).
+    TENANT_QUOTA_DEFERRALS = "TENANT_QUOTA_DEFERRALS"
+    #: Simulated seconds between a job entering the shared queue and its first task launch.
+    SCHED_QUEUE_WAIT_SECONDS = "SCHED_QUEUE_WAIT_SECONDS"
+    #: Jobs whose map phase overlapped another in-flight job on the shared slot pool
+    #: (the saturation benchmark's "genuinely interleaved" evidence).
+    SCHED_QUEUE_JOBS_INTERLEAVED = "SCHED_QUEUE_JOBS_INTERLEAVED"
 
     @staticmethod
     def per_attribute(base: str, attribute: str) -> str:

@@ -12,6 +12,14 @@ paper's results:
   expiry interval, and the lost tasks are re-executed on other nodes (Section 6.4.3).  Map tasks
   that re-execute may have to fall back to another replica — possibly one without the matching
   index, which is exactly the HAIL vs. HAIL-1Idx difference in Figure 8.
+
+Beyond the single-job phase the paper measures, :meth:`JobTracker.run_concurrent_map_phases`
+interleaves map tasks from **multiple in-flight jobs** over the same slot pool — the service
+side of HAIL's "aggressive elephants" story, where indexing piggybacks on heavy multi-tenant
+traffic.  A :class:`ConcurrencyPolicy` bounds how many jobs are in flight (admission control),
+caps each tenant's simultaneously running map tasks (slot quotas), and picks the next job to
+serve either fairly or strictly FIFO.  Concurrent phases do not support failure injection;
+failure experiments (Figure 8) run jobs one at a time through :meth:`run_map_phase`.
 """
 
 from __future__ import annotations
@@ -52,6 +60,39 @@ class SchedulingPolicy:
     index_aware: bool = True
 
 
+@dataclass(frozen=True)
+class ConcurrencyPolicy:
+    """How the JobTracker shares its slot pool between concurrently in-flight jobs.
+
+    ``max_concurrent_jobs`` is the admission gate: at most this many jobs are *in flight*
+    (queued tasks remaining, or attempts still running) at any simulated instant; the rest
+    wait in submission order.  ``tenant_admission_limit`` additionally caps how many of those
+    in-flight jobs may belong to one tenant — a saturating tenant cannot monopolize admission,
+    and later jobs from other tenants overtake its held-back ones (counted per job in
+    ``TENANT_ADMISSION_WAITS``).  ``tenant_slot_quota`` caps a tenant's *simultaneously
+    running map tasks* across all its admitted jobs; a job whose tenant is at quota defers
+    (``TENANT_QUOTA_DEFERRALS`` counts deferral episodes) until one of the tenant's attempts
+    finishes.  ``queue_policy`` picks among the eligible jobs at each free slot: ``"fair"``
+    serves the tenant with the fewest running tasks (ties: least-served job, then submission
+    order), ``"fifo"`` always serves the oldest admitted job.
+    """
+
+    max_concurrent_jobs: int = 1
+    queue_policy: str = "fair"
+    tenant_slot_quota: Optional[int] = None
+    tenant_admission_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        if self.queue_policy not in ("fair", "fifo"):
+            raise ValueError(f"queue_policy must be 'fair' or 'fifo', got {self.queue_policy!r}")
+        if self.tenant_slot_quota is not None and self.tenant_slot_quota < 1:
+            raise ValueError("tenant_slot_quota must be >= 1 when set")
+        if self.tenant_admission_limit is not None and self.tenant_admission_limit < 1:
+            raise ValueError("tenant_admission_limit must be >= 1 when set")
+
+
 @dataclass
 class ScheduledTask:
     """One (possibly re-executed) task attempt placed on the simulated timeline."""
@@ -71,7 +112,12 @@ class ScheduledTask:
 
 @dataclass
 class ScheduleOutcome:
-    """Result of simulating the map phase."""
+    """Result of simulating the map phase.
+
+    ``num_slots`` is the number of slots still *alive* when the phase ended — after a node
+    failure it counts only surviving slots, and a phase that somehow ends with every slot
+    dead reports 0 (consumers computing per-slot averages must guard, as the runner does).
+    """
 
     scheduled: list[ScheduledTask]
     makespan_s: float
@@ -83,6 +129,61 @@ class ScheduleOutcome:
     def successful(self) -> list[ScheduledTask]:
         """Attempts whose output counts (lost attempts are excluded)."""
         return self.scheduled
+
+
+@dataclass
+class ConcurrentJob:
+    """One job submitted to a concurrent map phase (input descriptor).
+
+    Each job brings its **own** counter bag, so per-tenant accounting never bleeds across
+    jobs sharing the slot pool; ``tenant`` labels the job for admission control, quotas and
+    the fair queue policy.
+    """
+
+    tasks: list[MapTask]
+    counters: Counters
+    tenant: str = "default"
+
+
+@dataclass
+class ConcurrentJobOutcome:
+    """Per-job result of a concurrent map phase, on the shared absolute timeline.
+
+    Unlike a solo :class:`ScheduleOutcome` (whose makespan starts at 0), every time here is
+    absolute on the batch timeline: ``admitted_s`` is when the admission gate let the job in,
+    ``first_launch_s`` when its first map task started (their difference plus ``admitted_s``
+    is the queueing delay recorded in ``SCHED_QUEUE_WAIT_SECONDS``), and ``finish_s`` when
+    its last map attempt completed — so the embedded ``outcome.makespan_s`` equals
+    ``finish_s`` and *includes* time spent waiting behind other tenants' work.
+    """
+
+    outcome: ScheduleOutcome
+    tenant: str
+    admitted_s: float
+    first_launch_s: float
+    finish_s: float
+    interleaved: bool = False
+
+
+@dataclass
+class _JobState:
+    """Scheduler-internal bookkeeping for one job in a concurrent phase."""
+
+    index: int
+    job: ConcurrentJob
+    queue: Deque[_QueuedTask]
+    policy: Optional[SchedulingPolicy]
+    admitted_s: Optional[float] = None
+    first_launch_s: Optional[float] = None
+    max_finish_s: float = 0.0
+    launched: int = 0
+    scheduled: list[ScheduledTask] = field(default_factory=list)
+    admission_blocked: bool = False
+    quota_deferred: bool = False
+
+    def in_flight(self, now: float) -> bool:
+        """Whether the job still occupies an admission token at time ``now``."""
+        return bool(self.queue) or (self.launched > 0 and self.max_finish_s > now)
 
 
 @dataclass
@@ -127,9 +228,9 @@ class JobTracker:
         caller (the runner) derives ``kill_time_s`` from the job progress fraction.
         """
         slots = [
-            _Slot(node_id=tracker.node_id, slot_index=i)
+            _Slot(node_id=tracker.node_id, slot_index=slot_index)
             for tracker in self.task_trackers()
-            for i in range(tracker.map_slots)
+            for slot_index in tracker.slot_ids()
         ]
         if not slots:
             raise RuntimeError("no alive TaskTracker slots available")
@@ -213,12 +314,215 @@ class JobTracker:
         return ScheduleOutcome(
             scheduled=scheduled,
             makespan_s=makespan,
-            num_slots=len([slot for slot in slots if not slot.dead]) or len(slots),
+            num_slots=len([slot for slot in slots if not slot.dead]),
             rescheduled=rescheduled,
             failure_node=failure_node,
         )
 
+    def run_concurrent_map_phases(
+        self,
+        jobs: list[ConcurrentJob],
+        policy: Optional[ConcurrencyPolicy] = None,
+    ) -> list[ConcurrentJobOutcome]:
+        """Interleave the map phases of several jobs over one shared slot pool.
+
+        All jobs are considered submitted at time 0 in list order; the admission gate,
+        per-tenant quotas and the queue policy are governed by ``policy`` (defaults allow
+        one job in flight, which reproduces serial back-to-back execution on a shared
+        timeline).  Each job's functional work and counters stay fully isolated — only the
+        *timeline* is shared.  Failure injection is not supported here; see
+        :meth:`run_map_phase`.
+        """
+        policy = policy or ConcurrencyPolicy()
+        states = [
+            _JobState(
+                index=index,
+                job=job,
+                queue=deque(_QueuedTask(task) for task in job.tasks),
+                policy=(
+                    job.tasks[0].jobconf.properties.get(SCHEDULING_PROPERTY)
+                    if job.tasks
+                    else None
+                ),
+            )
+            for index, job in enumerate(jobs)
+        ]
+        if not states:
+            return []
+        slots = [
+            _Slot(node_id=tracker.node_id, slot_index=slot_index)
+            for tracker in self.task_trackers()
+            for slot_index in tracker.slot_ids()
+        ]
+        if not slots:
+            raise RuntimeError("no alive TaskTracker slots available")
+
+        pending: Deque[_JobState] = deque(states)
+        admitted: list[_JobState] = []
+        finish_times: list[tuple[float, str]] = []  # (finish_s, tenant) of every attempt
+
+        while pending or any(state.queue for state in admitted):
+            slot = self._next_slot(slots)
+            if slot is None:  # pragma: no cover - concurrent phases never kill slots
+                raise RuntimeError("scheduler ran out of usable slots with tasks still queued")
+            now = slot.available_s
+            self._admit(pending, admitted, policy, now)
+            running_by_tenant: dict[str, int] = {}
+            for finish, tenant in finish_times:
+                if finish > now:
+                    running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
+            eligible = self._eligible_jobs(admitted, policy, running_by_tenant)
+            if not eligible:
+                # Nothing runnable at `now` (quota/admission-bound): park this slot at the
+                # next attempt completion, when quotas free up and admission re-evaluates.
+                horizon = min((f for f, _ in finish_times if f > now), default=None)
+                if horizon is None:
+                    raise RuntimeError("concurrent scheduler stalled with tasks still queued")
+                slot.available_s = horizon
+                continue
+            state = self._choose_job(eligible, policy, running_by_tenant)
+            queued = self._pick_task(state.queue, slot, state.policy)
+            start = max(now, queued.not_before_s)
+            counters = state.job.counters
+            result = queued.task.run(self.hdfs, self.cost, slot.node_id, counters)
+            duration = self.cost.task_overhead() + result.compute_seconds
+            finish = start + duration
+            slot.available_s = finish
+            counters.increment(Counters.LAUNCHED_MAP_TASKS)
+            self._count_assignment(state.policy, counters, queued.task.split, slot.node_id)
+            state.scheduled.append(
+                ScheduledTask(
+                    task=queued.task,
+                    node_id=slot.node_id,
+                    start_s=start,
+                    finish_s=finish,
+                    result=result,
+                    attempt=queued.attempt,
+                )
+            )
+            state.launched += 1
+            state.max_finish_s = max(state.max_finish_s, finish)
+            state.quota_deferred = False
+            if state.first_launch_s is None:
+                state.first_launch_s = start
+                counters.increment(Counters.SCHED_QUEUE_WAIT_SECONDS, start)
+            finish_times.append((finish, state.job.tenant))
+
+        return self._concurrent_outcomes(states, slots)
+
     # ------------------------------------------------------------------ internals
+    @staticmethod
+    def _admit(
+        pending: Deque[_JobState],
+        admitted: list[_JobState],
+        policy: ConcurrencyPolicy,
+        now: float,
+    ) -> None:
+        """Move pending jobs into the in-flight set while the admission gate allows.
+
+        Jobs are considered in submission order, but a job held back by its tenant's
+        ``tenant_admission_limit`` does not block later jobs from *other* tenants — they
+        overtake it (no head-of-line blocking across tenants).
+        """
+        while pending:
+            inflight = [state for state in admitted if state.in_flight(now)]
+            if len(inflight) >= policy.max_concurrent_jobs:
+                return
+            chosen = None
+            for state in pending:
+                if policy.tenant_admission_limit is not None:
+                    tenant_inflight = sum(
+                        1 for other in inflight if other.job.tenant == state.job.tenant
+                    )
+                    if tenant_inflight >= policy.tenant_admission_limit:
+                        state.admission_blocked = True
+                        continue
+                chosen = state
+                break
+            if chosen is None:
+                return
+            pending.remove(chosen)
+            chosen.admitted_s = now
+            admitted.append(chosen)
+            chosen.job.counters.increment(Counters.TENANT_JOBS_ADMITTED)
+            if chosen.admission_blocked:
+                chosen.job.counters.increment(Counters.TENANT_ADMISSION_WAITS)
+
+    @staticmethod
+    def _eligible_jobs(
+        admitted: list[_JobState],
+        policy: ConcurrencyPolicy,
+        running_by_tenant: dict[str, int],
+    ) -> list[_JobState]:
+        """Admitted jobs with queued tasks whose tenant is under its slot quota."""
+        eligible: list[_JobState] = []
+        for state in admitted:
+            if not state.queue:
+                continue
+            if (
+                policy.tenant_slot_quota is not None
+                and running_by_tenant.get(state.job.tenant, 0) >= policy.tenant_slot_quota
+            ):
+                if not state.quota_deferred:
+                    state.quota_deferred = True
+                    state.job.counters.increment(Counters.TENANT_QUOTA_DEFERRALS)
+                continue
+            eligible.append(state)
+        return eligible
+
+    @staticmethod
+    def _choose_job(
+        eligible: list[_JobState],
+        policy: ConcurrencyPolicy,
+        running_by_tenant: dict[str, int],
+    ) -> _JobState:
+        """Pick the job the freed slot serves next (see :class:`ConcurrencyPolicy`)."""
+        if policy.queue_policy == "fifo":
+            return min(eligible, key=lambda state: state.index)
+        return min(
+            eligible,
+            key=lambda state: (
+                running_by_tenant.get(state.job.tenant, 0),
+                state.launched,
+                state.index,
+            ),
+        )
+
+    @staticmethod
+    def _concurrent_outcomes(
+        states: list[_JobState], slots: list[_Slot]
+    ) -> list[ConcurrentJobOutcome]:
+        """Wrap per-job results, flagging jobs whose map windows overlapped another's."""
+        outcomes: list[ConcurrentJobOutcome] = []
+        alive = len([slot for slot in slots if not slot.dead])
+        for state in states:
+            window_open = state.first_launch_s
+            interleaved = window_open is not None and any(
+                other is not state
+                and other.first_launch_s is not None
+                and other.first_launch_s < state.max_finish_s
+                and window_open < other.max_finish_s
+                for other in states
+            )
+            if interleaved:
+                state.job.counters.increment(Counters.SCHED_QUEUE_JOBS_INTERLEAVED)
+            admitted_s = state.admitted_s if state.admitted_s is not None else 0.0
+            outcomes.append(
+                ConcurrentJobOutcome(
+                    outcome=ScheduleOutcome(
+                        scheduled=state.scheduled,
+                        makespan_s=state.max_finish_s,
+                        num_slots=alive,
+                    ),
+                    tenant=state.job.tenant,
+                    admitted_s=admitted_s,
+                    first_launch_s=window_open if window_open is not None else admitted_s,
+                    finish_s=state.max_finish_s,
+                    interleaved=interleaved,
+                )
+            )
+        return outcomes
+
     @staticmethod
     def _next_slot(slots: list[_Slot]) -> Optional[_Slot]:
         usable = [slot for slot in slots if not slot.dead]

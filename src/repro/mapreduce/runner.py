@@ -7,8 +7,15 @@ with both the functional output and the paper's timing decomposition:
 - ``runtime_s``       — end-to-end job runtime (Figures 6(a), 7(a), 9),
 - ``avg_record_reader_s`` — average RecordReader time per map task (Figures 6(b), 7(b)),
 - ``ideal_time_s``    — ``#MapTasks / #ParallelMapTasks * Avg(T_RecordReader)``, the paper's
-  estimate of the useful work (Section 6.4.1),
+  estimate of the useful work (Section 6.4.1); ``#ParallelMapTasks`` is the number of map
+  slots still *alive* at the end of the phase, so a run that lost a node divides by the
+  surviving parallelism, not the configured one,
 - ``overhead_s``      — ``runtime - ideal``, the framework overhead (Figures 6(c), 7(c)).
+
+:meth:`MapReduceRunner.run_concurrent` executes a *batch* of jobs whose map phases share the
+JobTracker's slot pool (see :class:`~repro.mapreduce.job_tracker.ConcurrencyPolicy`); each
+job still yields its own :class:`JobResult`, whose ``runtime_s`` is then an end-to-end
+*latency* on the shared timeline — it includes time spent queued behind other tenants.
 """
 
 from __future__ import annotations
@@ -22,7 +29,12 @@ from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mapreduce.job_client import JobClient
-from repro.mapreduce.job_tracker import JobTracker, ScheduleOutcome
+from repro.mapreduce.job_tracker import (
+    ConcurrencyPolicy,
+    ConcurrentJob,
+    JobTracker,
+    ScheduleOutcome,
+)
 from repro.mapreduce.shuffle import run_reduce_phase
 from repro.mapreduce.task import MapTask
 
@@ -59,6 +71,56 @@ class MapReduceRunner:
         finally:
             self.cluster.node(failure.node_id).revive()
 
+    def run_concurrent(
+        self,
+        jobconfs: list[JobConf],
+        tenants: Optional[list[str]] = None,
+        policy: Optional[ConcurrencyPolicy] = None,
+    ) -> list[JobResult]:
+        """Execute a batch of jobs with interleaved map phases over shared slots.
+
+        ``tenants`` labels each job for admission control, quotas and fair queueing
+        (defaults to a single ``"default"`` tenant).  Results align with ``jobconfs``;
+        each ``JobResult.runtime_s`` is the job's end-to-end latency on the shared batch
+        timeline — client-side startup and split phases overlap across jobs, but the map
+        makespan is absolute and includes queueing behind other in-flight work.  Reduce
+        phases, adaptive commits and lifecycle passes run in map-completion order, so a
+        shared :class:`~repro.engine.lifecycle.AdaptiveTuner` observes jobs in the same
+        causal order the timeline produced.  Failure injection is not supported here.
+        """
+        if tenants is None:
+            tenants = ["default"] * len(jobconfs)
+        if len(tenants) != len(jobconfs):
+            raise ValueError("tenants must align one-to-one with jobconfs")
+        jobs: list[ConcurrentJob] = []
+        plans = []
+        for jobconf, tenant in zip(jobconfs, tenants):
+            counters = Counters()
+            self._set_usage_recording(jobconf, record=True)
+            plan = self.job_client.compute_splits(jobconf)
+            tasks = [
+                MapTask(task_id=i, split=split, jobconf=jobconf)
+                for i, split in enumerate(plan.splits)
+            ]
+            jobs.append(ConcurrentJob(tasks=tasks, counters=counters, tenant=tenant))
+            plans.append(plan)
+        outcomes = self.job_tracker.run_concurrent_map_phases(jobs, policy)
+        completion_order = sorted(
+            range(len(jobs)), key=lambda i: (outcomes[i].finish_s, i)
+        )
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        for i in completion_order:
+            results[i] = self._complete_job(
+                jobconfs[i],
+                plans[i],
+                jobs[i].tasks,
+                outcomes[i].outcome,
+                jobs[i].counters,
+                commit_adaptive=True,
+                tenant=tenants[i],
+            )
+        return results
+
     # ------------------------------------------------------------------ internals
     def _run_once(
         self,
@@ -75,6 +137,26 @@ class MapReduceRunner:
         outcome = self.job_tracker.run_map_phase(
             tasks, counters, failure=failure, kill_time_s=kill_time_s
         )
+        return self._complete_job(
+            jobconf, plan, tasks, outcome, counters, commit_adaptive=commit_adaptive
+        )
+
+    def _complete_job(
+        self,
+        jobconf: JobConf,
+        plan,
+        tasks: list[MapTask],
+        outcome: ScheduleOutcome,
+        counters: Counters,
+        commit_adaptive: bool,
+        tenant: Optional[str] = None,
+    ) -> JobResult:
+        """Everything after the map phase: commits, reduce, lifecycle, timing decomposition.
+
+        Shared by the serial path and :meth:`run_concurrent`; for concurrent jobs
+        ``outcome.makespan_s`` is absolute on the batch timeline, so the returned
+        ``runtime_s`` is the job's latency including queueing.
+        """
         if commit_adaptive:
             self._commit_adaptive_builds(outcome, counters)
 
@@ -96,7 +178,7 @@ class MapReduceRunner:
                 for build in getattr(attempt.result, "adaptive_builds", ())
             )
             self._run_adaptive_lifecycle(
-                jobconf, counters, max(0.0, sum(rr_times) - staged_build_s)
+                jobconf, counters, max(0.0, sum(rr_times) - staged_build_s), tenant=tenant
             )
         avg_rr = sum(rr_times) / len(rr_times) if rr_times else 0.0
         max_rr = max(rr_times) if rr_times else 0.0
@@ -173,19 +255,27 @@ class MapReduceRunner:
         if context is not None:
             context.record_usage = record
 
-    def _run_adaptive_lifecycle(self, jobconf: JobConf, counters: Counters, total_rr_s: float) -> None:
+    def _run_adaptive_lifecycle(
+        self,
+        jobconf: JobConf,
+        counters: Counters,
+        total_rr_s: float,
+        tenant: Optional[str] = None,
+    ) -> None:
         """Post-job lifecycle pass: feed the knob tuner, evict under disk pressure.
 
         Runs only for measured runs (never for the failure runner's baseline probe, which must
         not publish side effects) and only when the deployment installed an
         ``AdaptiveLifecycleManager`` into the job's properties — stock jobs skip this entirely.
+        Concurrent jobs tag their observation with the submitting ``tenant``, so a shared
+        tuner's report history shows which tenants drove convergence.
         """
         from repro.engine.lifecycle import LIFECYCLE_PROPERTY, JobObservation
 
         manager = jobconf.properties.get(LIFECYCLE_PROPERTY)
         if manager is None:
             return
-        observation = JobObservation.from_counters(counters, total_rr_s)
+        observation = JobObservation.from_counters(counters, total_rr_s, tenant=tenant)
         report = manager.after_job(self.hdfs, observation, cost=self.cost)
         if report.num_evicted:
             counters.increment(Counters.ADAPTIVE_INDEXES_EVICTED, report.num_evicted)

@@ -24,6 +24,6 @@ class TaskTracker:
         """Trackers die with their node."""
         return self.node.is_alive
 
-    def slot_ids(self) -> list[tuple[int, int]]:
-        """Identifiers of this tracker's map slots as ``(node_id, slot_index)`` pairs."""
-        return [(self.node_id, i) for i in range(self.map_slots)]
+    def slot_ids(self) -> range:
+        """Indices of this tracker's map slots (the JobTracker builds one slot per index)."""
+        return range(self.map_slots)

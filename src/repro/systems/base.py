@@ -193,6 +193,47 @@ class BaseSystem(abc.ABC):
             system=self.name, query_name=query.name, records=job.records, job=job, plan=plan
         )
 
+    def run_queries(
+        self,
+        items: Sequence[tuple],
+        tenants: Optional[Sequence[str]] = None,
+    ) -> list[QueryResult]:
+        """Run several ``(query, path)`` pairs as one batch, concurrently when configured.
+
+        When :meth:`concurrency_policy` returns a policy (HAIL with
+        ``max_concurrent_jobs > 1``), the jobs' map phases interleave over the shared
+        TaskTracker slots via :meth:`MapReduceRunner.run_concurrent`; otherwise the batch
+        falls back to serial :meth:`run_query` calls.  ``tenants`` labels each job for
+        admission control/quotas/fair queueing.  Results align with ``items``.
+        """
+        items = list(items)
+        policy = self.concurrency_policy()
+        if policy is None or policy.max_concurrent_jobs <= 1 or len(items) <= 1:
+            return [self.run_query(query, path) for query, path in items]
+        jobconfs = [
+            self._make_jobconf(query, path, self.schema_of(path)) for query, path in items
+        ]
+        tenant_labels = list(tenants) if tenants is not None else None
+        jobs = self.runner.run_concurrent(jobconfs, tenants=tenant_labels, policy=policy)
+        return [
+            QueryResult(
+                system=self.name,
+                query_name=query.name,
+                records=job.records,
+                job=job,
+                plan=self._executed_plan(query, path, job),
+            )
+            for (query, path), job in zip(items, jobs)
+        ]
+
+    def concurrency_policy(self):
+        """The batch-drain :class:`~repro.mapreduce.job_tracker.ConcurrencyPolicy`.
+
+        ``None`` (the default for every system) means batches run strictly serially; HAIL
+        overrides this to honour ``HailConfig.max_concurrent_jobs`` and friends.
+        """
+        return None
+
     def plan_query(self, query, path: str) -> QueryPlan:
         """The physical plan the engine chooses for ``query`` (without executing anything)."""
         return self._planner().plan_query(path, self._annotation_for(query))

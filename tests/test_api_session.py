@@ -208,6 +208,67 @@ def test_run_batch_accepts_logical_queries_and_queries(tri_session):
     assert batch[0].sorted_records() == batch[1].sorted_records()
 
 
+def test_pending_queue_never_accumulates_resolved_handles():
+    """Regression: handles must leave ``_pending`` on resolution, however they resolve.
+
+    The queue used to grow without bound — ``submit``/``run`` cycles appended handles that
+    nothing ever removed, so a long-lived session leaked every query it had ever deferred
+    (and each drain re-filtered the whole history).
+    """
+    session = _tri_system_session()
+    visits = session.dataset(_PATH)
+    for cycle in range(3):
+        handle = visits.where(col("sourceIP") == _PROBE).named(f"leak-{cycle}").submit()
+        session.run(handle)  # resolved out-of-band, not via run_batch
+        assert session._pending == []
+    for cycle in range(3):
+        visits.where(col("sourceIP") == _PROBE).named(f"batch-{cycle}").submit()
+        session.run_batch()
+        assert session._pending == []
+
+
+def test_batch_failure_preserves_completed_results():
+    """Regression: a mid-batch exception must carry the finished work, not discard it.
+
+    ``run_batch`` records every completed query into the session statistics as it goes; the
+    old behaviour raised the bare error and threw away the ``BatchResult`` under
+    construction, so callers could never reconcile stats with results.
+    """
+    from repro.api import BatchExecutionError
+
+    session = _tri_system_session()
+    visits = session.dataset(_PATH)
+    queries = [
+        visits.where(col("sourceIP") == _PROBE).named(f"part-{i}").submit()
+        for i in range(3)
+    ]
+    target = session.system("HAIL")
+    original = target.run_query
+
+    def failing_run_query(query, path, failure=None):
+        if query.name == "part-1":
+            raise RuntimeError("injected mid-batch failure")
+        return original(query, path, failure=failure)
+
+    target.run_query = failing_run_query
+    try:
+        with pytest.raises(BatchExecutionError) as excinfo:
+            session.run_batch()
+    finally:
+        target.run_query = original
+    error = excinfo.value
+    assert error.failed_index == 1
+    assert len(error.partial) == 1
+    assert error.partial[0].query_name == "part-0"
+    assert isinstance(error.__cause__, RuntimeError)
+    # Stats and partial results agree: exactly the completed query was recorded.
+    assert session.stats("HAIL").queries_run == 1
+    # The completed handle resolved (and left the queue); the failed and unreached ones
+    # are still pending, so the batch can be retried after fixing the cause.
+    assert queries[0].done and not queries[1].done and not queries[2].done
+    assert session.pending == (queries[1], queries[2])
+
+
 # --------------------------------------------------------------------------- adaptivity
 def _adaptive_session(**lifecycle) -> tuple[Session, "Dataset"]:
     config = HailConfig(

@@ -79,6 +79,29 @@ def test_map_phase_makespan_scales_with_slots(loaded_hdfs, cost_model):
     assert wide_makespan < narrow_makespan
 
 
+def test_num_slots_counts_only_alive_slots(loaded_hdfs, cost_model):
+    """Regression: ``ScheduleOutcome.num_slots`` is the *surviving* slot count.
+
+    The old expression ``len(alive) or len(slots)`` silently reported the pre-failure total
+    whenever the alive count came out falsy, instead of the dead-slot-adjusted number the
+    docstring (and the runner's parallel-slots statistic) promise.
+    """
+    conf = _scan_job()
+    splits = conf.input_format.get_splits(loaded_hdfs, conf, cost_model)
+    tasks = [MapTask(i, split, conf) for i, split in enumerate(splits)]
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    slots_per_node = cost_model.params.map_slots_per_node
+
+    healthy = tracker.run_map_phase(tasks, Counters())
+    assert healthy.num_slots == 4 * slots_per_node
+
+    injector = FailureInjector(loaded_hdfs.cluster, seed=2)
+    failure = injector.node_failure(1, at_progress=0.5, expiry_interval_s=5.0)
+    failed = tracker.run_map_phase(tasks, Counters(), failure=failure, kill_time_s=0.0)
+    loaded_hdfs.cluster.revive_all()
+    assert failed.num_slots == 3 * slots_per_node
+
+
 # --------------------------------------------------------------------------- shuffle / reduce
 def test_reduce_phase_groups_and_sorts(loaded_hdfs, cost_model):
     def reducer(key, values):

@@ -1,0 +1,261 @@
+"""Multi-tenant concurrency invariants: isolation, quotas, admission, fidelity.
+
+Covers the acceptance criteria of the concurrent-execution PR at both layers:
+
+- **JobTracker** — :meth:`~repro.mapreduce.job_tracker.JobTracker.run_concurrent_map_phases`
+  must interleave jobs over the shared slot pool without ever changing a job's answers,
+  letting a tenant exceed its slot quota, or letting one tenant's counters bleed into
+  another's bag;
+- **Session** — attached tenant sessions share one deployment (and one adaptive tuner) but
+  keep strictly separate statistics, and a concurrent drain returns bit-identical results
+  to the serial baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session, col, run_multi_tenant_batch
+from repro.datagen.synthetic import VALUE_RANGE, SyntheticGenerator
+from repro.hail import HailConfig
+from repro.hdfs import DataFile, HdfsClient, StandardUploadPipeline
+from repro.mapreduce import Counters, JobConf, TextInputFormat
+from repro.mapreduce.job_tracker import ConcurrencyPolicy, ConcurrentJob, JobTracker
+from repro.mapreduce.task import MapTask
+
+
+@pytest.fixture
+def loaded_hdfs(hdfs, cost_model, simple_schema, simple_records):
+    pipeline = StandardUploadPipeline(hdfs, cost_model)
+    client = HdfsClient(hdfs, cost_model, pipeline, client_node=0)
+    client.upload(
+        DataFile("/data/simple", simple_schema, list(simple_records)), rows_per_block=10
+    )
+    return hdfs
+
+
+def _scan_job(name: str) -> JobConf:
+    def mapper(key, line):
+        return [(line.split("|")[1], 1)]
+
+    return JobConf(
+        name=name, input_path="/data/simple", mapper=mapper, input_format=TextInputFormat()
+    )
+
+
+def _make_job(hdfs, cost, name: str, tenant: str) -> ConcurrentJob:
+    conf = _scan_job(name)
+    splits = conf.input_format.get_splits(hdfs, conf, cost)
+    tasks = [MapTask(i, split, conf) for i, split in enumerate(splits)]
+    return ConcurrentJob(tasks=tasks, counters=Counters(), tenant=tenant)
+
+
+def _sorted_output(outcome) -> list:
+    return sorted(
+        pair for attempt in outcome.scheduled for pair in attempt.result.output
+    )
+
+
+def _peak_concurrency(outcomes, tenant: str) -> int:
+    """Max simultaneously running attempts of one tenant (half-open intervals)."""
+    events = []
+    for job in outcomes:
+        if job.tenant != tenant:
+            continue
+        for attempt in job.outcome.scheduled:
+            events.append((attempt.start_s, 1))
+            events.append((attempt.finish_s, -1))
+    peak = running = 0
+    # Finishes sort before starts at the same instant: a slot freed at t can be reused at t.
+    for _, delta in sorted(events, key=lambda event: (event[0], event[1])):
+        running += delta
+        peak = max(peak, running)
+    return peak
+
+
+# --------------------------------------------------------------------------- job tracker
+@pytest.mark.parametrize("queue_policy", ["fair", "fifo"])
+def test_concurrent_results_identical_to_serial(loaded_hdfs, cost_model, queue_policy):
+    """Interleaving changes the timeline, never the answers — under either queue policy."""
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    serial = [
+        _sorted_output(tracker.run_map_phase(_make_job(loaded_hdfs, cost_model, f"j{i}", "t").tasks, Counters()))
+        for i in range(3)
+    ]
+    jobs = [
+        _make_job(loaded_hdfs, cost_model, f"j{i}", tenant)
+        for i, tenant in enumerate(["alice", "bob", "alice"])
+    ]
+    outcomes = tracker.run_concurrent_map_phases(
+        jobs, ConcurrencyPolicy(max_concurrent_jobs=3, queue_policy=queue_policy)
+    )
+    assert [_sorted_output(outcome.outcome) for outcome in outcomes] == serial
+    assert all(outcome.interleaved for outcome in outcomes)
+
+
+def test_default_policy_reproduces_serial_timeline(loaded_hdfs, cost_model):
+    """max_concurrent_jobs=1 is back-to-back execution: no window overlap, no interleaving."""
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    jobs = [_make_job(loaded_hdfs, cost_model, f"j{i}", "t") for i in range(2)]
+    first, second = tracker.run_concurrent_map_phases(jobs)
+    assert not first.interleaved and not second.interleaved
+    assert second.first_launch_s >= first.finish_s
+    assert first.outcome.scheduled[0].start_s == 0.0
+
+
+def test_tenant_counters_never_bleed(loaded_hdfs, cost_model):
+    """Each job's counter bag accounts exactly its own tasks, nobody else's."""
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    jobs = [
+        _make_job(loaded_hdfs, cost_model, f"j{i}", tenant)
+        for i, tenant in enumerate(["alice", "bob"])
+    ]
+    tracker.run_concurrent_map_phases(jobs, ConcurrencyPolicy(max_concurrent_jobs=2))
+    for job in jobs:
+        assert job.counters.value(Counters.LAUNCHED_MAP_TASKS) == len(job.tasks)
+        assert job.counters.value(Counters.TENANT_JOBS_ADMITTED) == 1
+        assert job.counters.value(Counters.SCHED_QUEUE_JOBS_INTERLEAVED) == 1
+
+
+def test_slot_quota_holds_under_saturation(loaded_hdfs, cost_model):
+    """A tenant's simultaneously running attempts never exceed its quota, even saturated."""
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    tenants = ["alice", "bob"] * 3
+    jobs = [
+        _make_job(loaded_hdfs, cost_model, f"j{i}", tenant)
+        for i, tenant in enumerate(tenants)
+    ]
+    policy = ConcurrencyPolicy(max_concurrent_jobs=6, tenant_slot_quota=2)
+    outcomes = tracker.run_concurrent_map_phases(jobs, policy)
+    for tenant in ("alice", "bob"):
+        assert _peak_concurrency(outcomes, tenant) <= 2
+    # Six jobs fighting for 2 slots per tenant: somebody must have been deferred.
+    assert sum(job.counters.value(Counters.TENANT_QUOTA_DEFERRALS) for job in jobs) > 0
+    # And the quota never changed any answer.
+    reference = _sorted_output(
+        tracker.run_map_phase(_make_job(loaded_hdfs, cost_model, "ref", "t").tasks, Counters())
+    )
+    assert all(_sorted_output(outcome.outcome) == reference for outcome in outcomes)
+
+
+def test_admission_limit_prevents_tenant_monopoly(loaded_hdfs, cost_model):
+    """A backlogged tenant cannot hold every admission token; others overtake its jobs."""
+    tracker = JobTracker(loaded_hdfs.cluster, loaded_hdfs, cost_model)
+    tenants = ["alice", "alice", "alice", "bob"]
+    jobs = [
+        _make_job(loaded_hdfs, cost_model, f"j{i}", tenant)
+        for i, tenant in enumerate(tenants)
+    ]
+    policy = ConcurrencyPolicy(max_concurrent_jobs=2, tenant_admission_limit=1)
+    outcomes = tracker.run_concurrent_map_phases(jobs, policy)
+    # bob's only job was submitted last but overtook alice's held-back second and third.
+    assert outcomes[3].first_launch_s < outcomes[1].first_launch_s
+    assert outcomes[3].first_launch_s < outcomes[2].first_launch_s
+    assert jobs[3].counters.value(Counters.TENANT_ADMISSION_WAITS) == 0
+    alice_waits = sum(jobs[i].counters.value(Counters.TENANT_ADMISSION_WAITS) for i in (1, 2))
+    assert alice_waits >= 1
+
+
+# --------------------------------------------------------------------------- session layer
+_PATH = "/data/synthetic"
+
+
+def _tenant_sessions(max_jobs: int, **concurrency) -> list[Session]:
+    config = HailConfig.for_attributes(
+        ("f1", "f2"), functional_partition_size=1
+    ).with_concurrency(max_jobs=max_jobs, **concurrency)
+    alice = Session.deploy(nodes=4, hail_config=config, tenant="alice")
+    generator = SyntheticGenerator(seed=7)
+    alice.upload(_PATH, generator.generate(800), generator.schema, rows_per_block=100)
+    return [alice, alice.attach("bob")]
+
+
+def _submit_mixed(sessions: list[Session], count: int) -> None:
+    for i in range(count):
+        session = sessions[i % len(sessions)]
+        attribute = ("f1", "f2")[i % 2]
+        lo = (i * 1231) % (VALUE_RANGE // 2)
+        session.dataset(_PATH).where(
+            col(attribute).between(lo, lo + VALUE_RANGE // 10)
+        ).named(f"mt-{i}").submit()
+
+
+def test_attached_sessions_isolate_stats_and_share_catalog():
+    """Tenants share the deployment's datasets but never each other's statistics."""
+    alice, bob = _tenant_sessions(max_jobs=4)
+    assert bob.paths == alice.paths  # the upload catalog is deployment-level
+    assert bob.system("HAIL") is alice.system("HAIL")  # same system object
+    _submit_mixed([alice, bob], 6)
+    assert len(alice.pending) == 3 and len(bob.pending) == 3
+    batches = run_multi_tenant_batch([alice, bob])
+    assert len(batches["alice"]) == 3 and len(batches["bob"]) == 3
+    # The pending-leak fix: every drained handle left its owner's queue.
+    assert alice.pending == () and bob.pending == ()
+    alice_stats, bob_stats = alice.stats(), bob.stats()
+    assert alice_stats.tenant == "alice" and bob_stats.tenant == "bob"
+    assert alice_stats.queries_run == 3 and bob_stats.queries_run == 3
+    # Counters account each tenant's own jobs exactly; totals match a job-level recount.
+    for stats, batch in ((alice_stats, batches["alice"]), (bob_stats, batches["bob"])):
+        launched = sum(
+            result.job.counters.value(Counters.LAUNCHED_MAP_TASKS) for result in batch
+        )
+        assert stats.counter(Counters.LAUNCHED_MAP_TASKS) == launched > 0
+        assert stats.counter(Counters.TENANT_JOBS_ADMITTED) == 3
+        assert stats.counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED) > 0
+
+
+def test_multi_tenant_drain_identical_to_serial_baseline():
+    """The same backlog answers identically whether drained serially or interleaved."""
+    serial_sessions = _tenant_sessions(max_jobs=1)
+    concurrent_sessions = _tenant_sessions(max_jobs=4)
+    _submit_mixed(serial_sessions, 8)
+    _submit_mixed(concurrent_sessions, 8)
+    serial = run_multi_tenant_batch(serial_sessions)
+    concurrent = run_multi_tenant_batch(concurrent_sessions)
+    for tenant in ("alice", "bob"):
+        serial_answers = [result.sorted_records() for result in serial[tenant]]
+        concurrent_answers = [result.sorted_records() for result in concurrent[tenant]]
+        assert concurrent_answers == serial_answers
+    # The serial deployment interleaved nothing; the concurrent one interleaved both tenants.
+    for session in serial_sessions:
+        assert session.stats().counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED) == 0
+    for session in concurrent_sessions:
+        assert session.stats().counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED) > 0
+
+
+def test_quota_holds_through_the_session_layer():
+    """tenant_slot_quota configured on HailConfig reaches the scheduler and is respected."""
+    sessions = _tenant_sessions(max_jobs=4, slot_quota=2)
+    _submit_mixed(sessions, 8)
+    batches = run_multi_tenant_batch(sessions)
+    for tenant, batch in batches.items():
+        events = []
+        for result in batch:
+            for attempt in result.job.task_results:
+                events.append((attempt.start_s, 1))
+                events.append((attempt.finish_s, -1))
+        peak = running = 0
+        for _, delta in sorted(events, key=lambda event: (event[0], event[1])):
+            running += delta
+            peak = max(peak, running)
+        assert peak <= 2, f"{tenant} ran {peak} attempts at once with a quota of 2"
+
+
+def test_shared_tuner_observes_every_tenant():
+    """One deployment, one lifecycle manager: jobs from both tenants reach the tuner."""
+    config = HailConfig(
+        index_attributes=("f1",),
+        functional_partition_size=1,
+        splitting_policy=False,
+        adaptive_indexing=True,
+        adaptive_auto_tune=True,
+    ).with_concurrency(max_jobs=2)
+    alice = Session.deploy(nodes=4, hail_config=config, tenant="alice")
+    generator = SyntheticGenerator(seed=7)
+    alice.upload(_PATH, generator.generate(400), generator.schema, rows_per_block=100)
+    bob = alice.attach("bob")
+    _submit_mixed([alice, bob], 4)
+    run_multi_tenant_batch([alice, bob])
+    manager = alice.system("HAIL").lifecycle
+    assert manager is bob.system("HAIL").lifecycle
+    assert manager.tenant_jobs == {"alice": 2, "bob": 2}

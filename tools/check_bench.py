@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
 """Validate an emitted ``BENCH_*.json`` perf record against the pinned schema and floors.
 
-Runs in CI right after the benchmark smoke step (stdlib only, no third-party dependencies):
-the record must carry the expected shape (``bench_id``, the three workloads, per-variant
-timings), every timed variant must have answered identically to the legacy baseline, the
-skip workload must report its skip-rate/pruned-bytes stats, and the headline
-``combined_speedup`` (kernels + zone-map skipping vs. the legacy mask pipeline, on whatever
-backend the environment offers) must clear the acceptance floor.
+Runs in CI right after the benchmark smoke steps (stdlib only, no third-party dependencies).
+Records dispatch on their ``kind`` field:
+
+- **engine** (the default, BENCH_6): the record must carry the three workloads with
+  per-variant timings, every timed variant must have answered identically to the legacy
+  baseline, the skip workload must report its skip-rate/pruned-bytes stats, and the headline
+  ``combined_speedup`` (kernels + zone-map skipping vs. the legacy mask pipeline, on
+  whatever backend the environment offers) must clear the acceptance floor.
+- **saturation** (BENCH_7): the multi-tenant concurrency sweep must start from a serial
+  baseline level, every level must answer bit-identically to it, at least one concurrent
+  level must show **both** tenants' jobs genuinely interleaving, and the best batch speedup
+  over serial must clear its floor.
 
 Usage::
 
     python tools/check_bench.py BENCH_6.json
     python tools/check_bench.py --min-speedup 2.0 BENCH_6.json
+    python tools/check_bench.py BENCH_7.json
 """
 
 from __future__ import annotations
@@ -24,7 +31,10 @@ from typing import Any
 #: The acceptance floor: kernels + skipping combined vs. the legacy pipeline.
 MIN_COMBINED_SPEEDUP = 2.0
 
-#: Workloads every record must contain.
+#: The saturation floor: best concurrent makespan vs. the serial baseline's.
+MIN_SATURATION_SPEEDUP = 1.5
+
+#: Workloads every engine record must contain.
 REQUIRED_WORKLOADS = ("filter_micro", "skip_micro", "figure_workload")
 
 
@@ -47,7 +57,54 @@ def _check_variants(errors: list[str], workload: str, entry: dict) -> None:
             )
 
 
-def check_record(record: Any, min_speedup: float = MIN_COMBINED_SPEEDUP) -> list[str]:
+def _check_saturation(record: dict, min_speedup: float) -> list[str]:
+    """Violations of a ``kind: saturation`` record (the BENCH_7 concurrency sweep)."""
+    errors: list[str] = []
+    tenants = record.get("tenants")
+    if not (isinstance(tenants, int) and tenants >= 2):
+        errors.append("'tenants' must be an integer >= 2 — one tenant is not multi-tenancy")
+    levels = record.get("levels")
+    if not (isinstance(levels, list) and len(levels) >= 2):
+        return errors + ["'levels' must be a list with a serial baseline and >=1 sweep point"]
+    if levels[0].get("max_concurrent_jobs") != 1:
+        errors.append("levels[0] must be the serial baseline (max_concurrent_jobs == 1)")
+    saturated = False
+    for i, level in enumerate(levels):
+        label = f"levels[{i}]"
+        for key in ("throughput_qps", "latency_p50_s", "latency_p99_s", "makespan_s"):
+            value = level.get(key)
+            if not (isinstance(value, (int, float)) and value > 0):
+                errors.append(f"{label}: {key!r} must be a positive number")
+        if level.get("results_identical") is not True:
+            errors.append(
+                f"{label}: results_identical must be true — interleaving that changes "
+                "answers is a bug, not concurrency"
+            )
+        p50, p99 = level.get("latency_p50_s"), level.get("latency_p99_s")
+        if isinstance(p50, (int, float)) and isinstance(p99, (int, float)) and p99 < p50:
+            errors.append(f"{label}: latency_p99_s below latency_p50_s")
+        if (
+            level.get("max_concurrent_jobs", 1) > 1
+            and level.get("interleaved_jobs", 0) > 0
+            and level.get("tenants_interleaved", 0) >= 2
+        ):
+            saturated = True
+    if not saturated:
+        errors.append(
+            "no concurrent level shows >=2 tenants with genuinely interleaved jobs — "
+            "the sweep degenerated to serial execution"
+        )
+    best = record.get("best_speedup_vs_serial")
+    if not isinstance(best, (int, float)):
+        errors.append("'best_speedup_vs_serial' must be a number")
+    elif best < min_speedup:
+        errors.append(
+            f"best_speedup_vs_serial {best:.2f}x is below the {min_speedup:.1f}x floor"
+        )
+    return errors
+
+
+def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     """All schema/floor violations of one parsed record (empty list = valid)."""
     errors: list[str] = []
     if not isinstance(record, dict):
@@ -57,6 +114,11 @@ def check_record(record: Any, min_speedup: float = MIN_COMBINED_SPEEDUP) -> list
         errors.append("'bench_id' must be a string starting with 'BENCH_'")
     if record.get("schema_version") != 1:
         errors.append("'schema_version' must be 1")
+    if record.get("kind") == "saturation":
+        floor = min_speedup if min_speedup is not None else MIN_SATURATION_SPEEDUP
+        return errors + _check_saturation(record, floor)
+    if min_speedup is None:
+        min_speedup = MIN_COMBINED_SPEEDUP
     if not isinstance(record.get("numpy_available"), bool):
         errors.append("'numpy_available' must be a boolean")
     workloads = record.get("workloads")
@@ -96,8 +158,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=MIN_COMBINED_SPEEDUP,
-        help="combined_speedup floor (default %(default)s)",
+        default=None,
+        help=(
+            "speedup floor override (default: "
+            f"{MIN_COMBINED_SPEEDUP} for engine records, "
+            f"{MIN_SATURATION_SPEEDUP} for saturation records)"
+        ),
     )
     options = parser.parse_args(argv)
     try:
@@ -111,11 +177,19 @@ def main(argv: list[str] | None = None) -> int:
         for error in errors:
             print(f"check_bench: {error}", file=sys.stderr)
         return 1
-    print(
-        f"check_bench: {options.path} ok — combined_speedup="
-        f"{record['combined_speedup']:.2f}x, "
-        f"skip_rate={record['workloads']['skip_micro']['skip_rate']:.2f}"
-    )
+    if record.get("kind") == "saturation":
+        print(
+            f"check_bench: {options.path} ok — best_speedup_vs_serial="
+            f"{record['best_speedup_vs_serial']:.2f}x over "
+            f"{record['tenants']} tenants, "
+            f"results_identical={record['results_identical']}"
+        )
+    else:
+        print(
+            f"check_bench: {options.path} ok — combined_speedup="
+            f"{record['combined_speedup']:.2f}x, "
+            f"skip_rate={record['workloads']['skip_micro']['skip_rate']:.2f}"
+        )
     return 0
 
 
