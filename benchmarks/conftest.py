@@ -22,8 +22,10 @@ def pytest_sessionfinish(session, exitstatus):
     """Emit the pinned perf records after a green benchmark session.
 
     Opt-in: set ``REPRO_BENCH_RECORD=<output path>`` for the engine record (the CI smoke
-    step sets it to ``BENCH_6.json``) and/or ``REPRO_BENCH_SATURATION=<output path>`` for
-    the multi-tenant concurrency record (``BENCH_7.json``).  The engine recorder lives in
+    step sets it to ``BENCH_6.json``), ``REPRO_BENCH_SATURATION=<output path>`` for
+    the multi-tenant concurrency record (``BENCH_7.json``), and/or
+    ``REPRO_BENCH_RECOVERY=<output path>`` for the crash-recovery record
+    (``BENCH_8.json``).  The engine recorder lives in
     :mod:`benchmarks.bench_record`, which is not a package module, so it is loaded by file
     path; quick mode keeps the hook cheap.
     """
@@ -47,6 +49,15 @@ def pytest_sessionfinish(session, exitstatus):
         print(
             f"\nwrote {saturation_path}: best_speedup_vs_serial="
             f"{payload['best_speedup_vs_serial']:.2f}x"
+        )
+    recovery_path = os.environ.get("REPRO_BENCH_RECOVERY", "").strip()
+    if recovery_path:
+        from repro.experiments.recovery import write_record as write_recovery
+
+        payload = write_recovery(recovery_path)
+        print(
+            f"\nwrote {recovery_path}: recovery_speedup="
+            f"{payload['recovery_speedup']:.2f}x"
         )
 
 

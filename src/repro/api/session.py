@@ -462,6 +462,66 @@ class Session:
                 raise KeyError(f"unknown system {name!r}; known: HAIL, Hadoop++, Hadoop")
         return cls(built, default=default, tenant=tenant)
 
+    @classmethod
+    def restore(
+        cls,
+        hail_config: HailConfig,
+        nodes: int = 4,
+        hardware: str = "physical",
+        data_scale: float = 1.0,
+        default: Optional[str] = None,
+        tenant: str = "default",
+    ) -> "Session":
+        """Reopen a killed HAIL deployment from its persistence journal.
+
+        ``hail_config`` must carry the same persistence backend and directory the dead
+        deployment journaled into (``HailConfig.with_persistence(...)``); a fresh deployment
+        of the same shape is built and every journaled dataset, replica (adaptive index
+        pool included), zone-map synopsis, LRU statistic, eviction tombstone, tuner ledger
+        and the adaptive salt are put back, so convergence *resumes* — the first query after
+        a restore runs at warm steady-state, not cold full-scan (``experiments/recovery.py``
+        pins this).  See ``docs/persistence.md`` for the walkthrough.
+        """
+        from repro.persist import restore_system
+
+        if hail_config.persistence == "off":
+            raise ValueError(
+                "Session.restore needs a persistence-enabled HailConfig "
+                "(use config.with_persistence(...))"
+            )
+        session = cls.deploy(
+            nodes=nodes,
+            systems=("HAIL",),
+            hardware=hardware,
+            hail_config=hail_config,
+            data_scale=data_scale,
+            default=default,
+            tenant=tenant,
+        )
+        system = session.system()
+        restore_system(system, system.hdfs.persist.load_state())
+        # The schema catalog was rebuilt in journal (upload) order; mirror it into the
+        # session's path list so stats()/dataset() see the recovered datasets.
+        session._paths = list(system._schemas)
+        return session
+
+    def checkpoint(self, system: Optional[str] = None) -> None:
+        """Write a full capture of one system's durable state into its journal.
+
+        The journal is already kept current by the per-mutation syncs; a checkpoint
+        additionally garbage-collects crash-window orphans (see ``docs/persistence.md``)
+        and is the natural point-in-time marker before a planned kill.  Raises for systems
+        deployed without persistence.
+        """
+        target = self.system(system)
+        backend = getattr(target.hdfs, "persist", None)
+        if backend is None:
+            raise RuntimeError(
+                f"system {target.name!r} was deployed without persistence; "
+                "enable it via HailConfig.with_persistence(...)"
+            )
+        backend.checkpoint(target)
+
     def attach(self, tenant: str) -> "Session":
         """Open a sibling session over the **same** deployment under another tenant name.
 

@@ -270,6 +270,11 @@ def commit_adaptive_builds(hdfs: "Hdfs", attempts: Iterable[Any]) -> AdaptiveCom
             # behind it yet, and without this touch it would look like the *coldest* entry and
             # be the first thing disk-pressure eviction throws away — before ever paying off.
             namenode.touch_index_usage(build.block_id, target)
+            if hdfs.persist is not None:
+                # Per-build journal sync: the new adaptive replica is durable the moment it
+                # is registered, so a crash between builds loses later builds wholesale
+                # but never leaves this one half-registered.
+                hdfs.persist.sync_block(hdfs, build.block_id, site="mid_adaptive_commit")
             committed_keys.add(key)
             report.committed.append(build)
     return report

@@ -457,6 +457,10 @@ def evict_under_pressure(hdfs: "Hdfs", policy: DiskPressurePolicy) -> list[Evict
                     downgraded=downgrade,
                 )
             )
+            if hdfs.persist is not None:
+                # Per-eviction journal sync: the downgrade/delete and its tombstone become
+                # durable together; a crash mid-pass loses later evictions wholesale.
+                hdfs.persist.sync_block(hdfs, block_id, site="mid_eviction")
     return records
 
 
@@ -730,6 +734,9 @@ class PlacementBalancer:
         # A fresh rebuild starts its LRU life warm, exactly like a committed build would.
         namenode.touch_index_usage(block_id, target_id)
         footprints[target_id] = footprints.get(target_id, 0.0) + info.size_on_disk_bytes
+        if hdfs.persist is not None:
+            # Journal the re-replicated coverage as soon as it is registered.
+            hdfs.persist.sync_block(hdfs, block_id, site="mid_rebalance")
         seconds = self._charge_copy(hdfs, cost, source_id, target_id, payload, block, sort=True)
         return PlacementAction(
             kind="rebuild",
@@ -948,6 +955,10 @@ class PlacementBalancer:
         namenode.transfer_index_usage(block_id, source_id, target_id)
         namenode.unregister_replica(block_id, source_id)
         source.delete_replica(block_id)
+        if hdfs.persist is not None:
+            # Journal the whole add-before-remove move in one sync: a crash before this
+            # point leaves the journal at the pre-migration state, never half-moved.
+            hdfs.persist.sync_block(hdfs, block_id, site="mid_rebalance")
         return self._charge_copy(
             hdfs, cost, source_id, target_id, replica.payload, replica.payload, sort=False
         )
@@ -1165,4 +1176,15 @@ class AdaptiveLifecycleManager:
         self.reports.append(report)
         if len(self.reports) > self.MAX_REPORTS:
             del self.reports[: -self.MAX_REPORTS]
+        if hdfs.persist is not None:
+            # Journal the learned control state the pass just updated — tuner ledgers and
+            # balancer demand — so a restored deployment's feedback loops resume from the
+            # same knobs instead of re-learning.  Local import: repro.persist imports this
+            # module for the tuner dataclasses.
+            from repro.persist import codec
+
+            control: dict = {"tuner": codec.encode_tuner(self.tuner)}
+            if self.balancer is not None:
+                control["demand"] = dict(self.balancer.demand)
+            hdfs.persist.sync_control(control)
         return report

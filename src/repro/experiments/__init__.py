@@ -21,6 +21,9 @@ Overview (see DESIGN.md for the full per-experiment index):
   eviction storms, placement balancer on vs. off (extension)
 - :mod:`repro.experiments.saturation` — multi-tenant saturation: throughput and latency
   percentiles vs. ``max_concurrent_jobs`` on one shared deployment (extension)
+- :mod:`repro.experiments.recovery`   — crash recovery: kill a persistent deployment after
+  adaptive convergence, restore from the journal, and compare the time to first answer
+  against a persistence-off cold restart (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
@@ -34,6 +37,7 @@ from repro.experiments import (
     failover,
     placement,
     queries,
+    recovery,
     saturation,
     scaleout,
     scaleup,
@@ -54,6 +58,7 @@ __all__ = [
     "failover",
     "placement",
     "queries",
+    "recovery",
     "saturation",
     "scaleout",
     "scaleup",

@@ -134,6 +134,18 @@ class HailConfig:
     tenant_admission_limit:
         Cap on one tenant's simultaneously *in-flight jobs* (``None`` = unlimited); jobs
         beyond it wait at the admission gate while other tenants' jobs overtake them.
+    persistence:
+        Durable-state backend (off by default, keeping every journal write out of the
+        default path so the Figure 6/7 baselines stay bit-identical): ``"off"`` keeps all
+        state in process memory as before, ``"memory"`` journals into a process-global
+        in-memory store (the no-op-durability default backend, useful for crash-semantics
+        tests), ``"sqlite"`` journals into one WAL-mode SQLite database per node plus an
+        authoritative namenode database (see ``docs/persistence.md``).
+    persistence_dir:
+        Where the backend keeps its journal: a directory path for ``"sqlite"``, an opaque
+        store key for ``"memory"``.  Required whenever ``persistence`` is not ``"off"`` —
+        reopening a deployment with the same backend and directory is what
+        ``Session.restore`` uses to bring the learned index pool back.
     """
 
     index_attributes: tuple[str, ...] = ()
@@ -165,6 +177,8 @@ class HailConfig:
     scheduler_queue_policy: str = "fair"
     tenant_slot_quota: Optional[int] = None
     tenant_admission_limit: Optional[int] = None
+    persistence: str = "off"
+    persistence_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -204,6 +218,14 @@ class HailConfig:
         # them at scheduling time); constructing a throwaway policy keeps the rule in one
         # place — exactly the DiskPressurePolicy idiom above.
         self.concurrency_policy()
+        if self.persistence not in ("off", "memory", "sqlite"):
+            raise ValueError(
+                f"unknown persistence backend {self.persistence!r}; known: off, memory, sqlite"
+            )
+        if self.persistence != "off" and not self.persistence_dir:
+            raise ValueError(
+                "persistence backends need a persistence_dir (journal location/store key)"
+            )
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -361,6 +383,18 @@ class HailConfig:
         if admission_limit is not None:
             overrides["tenant_admission_limit"] = admission_limit
         return replace(self, **overrides)
+
+    def with_persistence(
+        self, backend: str = "sqlite", directory: Optional[str] = None
+    ) -> "HailConfig":
+        """Copy of this configuration with the durable-state backend switched on.
+
+        ``backend`` selects the journal implementation (``"sqlite"`` or ``"memory"``;
+        ``"off"`` switches persistence back off), ``directory`` where it lives.  A
+        deployment built with the same backend and directory a killed one used is what
+        ``Session.restore`` reopens — see ``docs/persistence.md`` for the walkthrough.
+        """
+        return replace(self, persistence=backend, persistence_dir=directory)
 
     def with_replication(self, replication: int) -> "HailConfig":
         """Copy of this configuration with a different replication factor."""

@@ -66,6 +66,12 @@ class HailSystem(BaseSystem):
         self.lifecycle: Optional[AdaptiveLifecycleManager] = (
             AdaptiveLifecycleManager.from_config(config)
         )
+        if config.persistence != "off":
+            from repro.persist import create_backend
+
+            # Attached on the Hdfs facade so every mutation-point hook (upload, adaptive
+            # commit, eviction, balancer) can reach the journal without new plumbing.
+            self.hdfs.persist = create_backend(config.persistence, config.persistence_dir)
 
     # ------------------------------------------------------------------ upload
     def _upload_pipeline(self) -> HailUploadPipeline:
@@ -113,6 +119,11 @@ class HailSystem(BaseSystem):
                 jobconf.properties[LIFECYCLE_PROPERTY] = self.lifecycle
             jobconf.properties[ADAPTIVE_PROPERTY] = context
             self._adaptive_salt += 1
+            if self.hdfs.persist is not None:
+                # The salt decides which blocks future jobs offer builds on; journaling it
+                # per job is what makes post-restore offer draws bit-identical to an
+                # uninterrupted run.
+                self.hdfs.persist.sync_control({"adaptive_salt": self._adaptive_salt})
         return jobconf
 
     def _planner(self) -> PhysicalPlanner:

@@ -136,6 +136,11 @@ class HailUploadPipeline:
         ledger.record_fixed(client_node, self.cost.network.round_trip() * len(pipeline))
         ledger.record_fixed(client_node, self.cost.block_setup())
 
+        if self.hdfs.persist is not None:
+            # Journal the fully registered block (all replicas + Dir_rep infos) in one sync;
+            # a crash before this point loses the block wholesale, never partially.
+            self.hdfs.persist.sync_block(self.hdfs, block_id, site="mid_upload")
+
         return HailBlockUploadResult(
             block_id=block_id,
             pipeline=tuple(pipeline),

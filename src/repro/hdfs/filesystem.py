@@ -76,6 +76,10 @@ class Hdfs:
         self.datanodes: Dict[int, DataNode] = {
             node.node_id: DataNode(node) for node in cluster.nodes
         }
+        #: Optional persistence backend (see :mod:`repro.persist`); ``None`` keeps every
+        #: journal write out of the path.  Attached by the owning system when its config
+        #: enables persistence — the mutation-point hooks all read it via this slot.
+        self.persist = None
 
     # ------------------------------------------------------------------ datanode access
     def datanode(self, node_id: int) -> DataNode:

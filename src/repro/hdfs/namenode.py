@@ -288,6 +288,64 @@ class NameNode:
         """Datanode an adaptive index of ``(block, attribute)`` was evicted from, or ``None``."""
         return self._evictions.get((block_id, attribute))
 
+    # ------------------------------------------------------------------ persistence support
+    # Accessors the persistence layer (src/repro/persist/) uses to capture a block's full
+    # directory state and to rebuild the namenode from a journal.  Restore goes through
+    # these instead of allocate_block/touch_index_usage because the journaled values — block
+    # ids, usage ticks, the allocation counter — must come back exactly, not be re-derived.
+
+    def block_eviction_tombstones(self, block_id: int) -> Dict[str, int]:
+        """Eviction tombstones of one block, keyed by the evicted indexed attribute."""
+        return {
+            attribute: datanode_id
+            for (bid, attribute), datanode_id in self._evictions.items()
+            if bid == block_id
+        }
+
+    @property
+    def next_block_id(self) -> int:
+        """The allocation counter: the id the next :meth:`allocate_block` will hand out."""
+        return self._next_block_id
+
+    def set_next_block_id(self, value: int) -> None:
+        """Restore the allocation counter (monotone: never moves backwards)."""
+        self._next_block_id = max(self._next_block_id, value)
+
+    @property
+    def usage_tick(self) -> int:
+        """The logical clock behind the index-usage LRU statistics."""
+        return self._usage_tick
+
+    def set_usage_tick(self, tick: int) -> None:
+        """Restore the usage clock (monotone: never moves backwards)."""
+        self._usage_tick = max(self._usage_tick, tick)
+
+    def adopt_block(self, path: str, logical_block: LogicalBlock, block_id: int) -> None:
+        """Insert a journaled block under its *original* id (restore-time allocation).
+
+        The normal :meth:`allocate_block` hands out fresh ids and an upload pipeline;
+        restore must instead re-seat each block exactly where the journal says it lived, in
+        journal order, and leave the allocation counter strictly past every adopted id so
+        post-restore uploads can never collide with recovered blocks.
+        """
+        if path not in self._files:
+            raise FileNotFoundInHdfsError(f"no such file: {path!r} (create it before adopting)")
+        if block_id in self._blocks:
+            raise BlockNotFoundError(f"block id {block_id} already present; cannot adopt")
+        logical_block.block_id = block_id
+        logical_block.path = path
+        self._files[path].append(block_id)
+        self._blocks[block_id] = logical_block
+        self._dir_block[block_id] = []
+        self.set_next_block_id(block_id + 1)
+
+    def set_index_usage(
+        self, block_id: int, datanode_id: int, use_count: int, last_tick: int
+    ) -> None:
+        """Restore one replica's journaled LRU statistics verbatim."""
+        self._index_usage[(block_id, datanode_id)] = [use_count, last_tick]
+        self.set_usage_tick(last_tick)
+
     # ------------------------------------------------------------------ reporting
     def describe(self) -> dict:
         """Namespace and directory sizes (for reports and tests)."""

@@ -1,0 +1,230 @@
+"""Capture and restore of a deployment's durable state.
+
+This module defines the *encoded state* both backends journal: a plain dict (JSON metadata
+plus PAX byte blobs, via :mod:`repro.persist.codec`) describing everything a killed HAIL
+deployment needs to come back with its learned index pool intact::
+
+    {
+      "paths":   {path: {"schema": ..., "position": n}},
+      "blocks":  {block_id: {"path", "num_records", "records_blob", "bad_lines",
+                             "text_size_bytes", "dir_block": [datanode ids, in order],
+                             "replicas": {datanode_id: {"info", "payload_blob", "meta"}},
+                             "usage": {datanode_id: [use_count, last_tick]},
+                             "evictions": {attribute: datanode_id}}},
+      "control": {"next_block_id", "usage_tick", "adaptive_salt", "tuner", "demand"},
+    }
+
+Capture reads only public namenode/datanode accessors and is *wholesale per block*: a
+journal write replaces the block's whole entry with whatever the in-memory directories
+currently say, so the journal can never drift from the authority it mirrors.
+
+Restore (:func:`restore_system`) rebuilds a **fresh** deployment from that state.  Replica
+payloads come back by re-running the shared sort-and-index entry point
+(:meth:`~repro.hail.hail_block.HailBlock.build`) over the journaled — already sorted — PAX
+bytes: the sort permutation is stable, so an already-sorted column yields the identity
+permutation and the restored replica is byte-identical to the one that was journaled.
+That, plus restoring the usage clock, allocation counter, adaptive salt, and tuner ledgers
+verbatim, is what makes post-restore query answers bit-identical to an uninterrupted run
+(``tests/test_persist_recovery.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.persist import codec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hdfs.filesystem import Hdfs
+    from repro.hdfs.namenode import NameNode
+
+
+def empty_state() -> dict:
+    """A fresh encoded-state skeleton (what a brand-new journal holds)."""
+    return {"paths": {}, "blocks": {}, "control": {}}
+
+
+# --------------------------------------------------------------------------- capture
+def apply_path(state: dict, path: str, schema) -> None:
+    """Record a newly created file path (journal side of ``sync_path``)."""
+    state["paths"][path] = {
+        "schema": codec.encode_schema(schema),
+        "position": len(state["paths"]),
+    }
+
+
+def capture_block(hdfs: "Hdfs", block_id: int) -> dict:
+    """One block's full journal entry, read from the authoritative in-memory state.
+
+    Covers the logical block (records as PAX bytes, bad lines), the ``Dir_block`` host list
+    in registration order, every replica's payload bytes + physical metadata + ``Dir_rep``
+    info (zone-map synopsis included), the per-replica LRU statistics, and the block's
+    eviction tombstones.
+    """
+    namenode = hdfs.namenode
+    logical = namenode.logical_block(block_id)
+    hosts = namenode.block_datanodes(block_id, alive_only=False)
+    replicas: dict[int, dict] = {}
+    usage: dict[int, list[int]] = {}
+    for datanode_id in hosts:
+        datanode = hdfs.datanode(datanode_id)
+        replica = datanode.replica(block_id)
+        payload = replica.payload
+        info = namenode.replica_info(block_id, datanode_id)
+        replicas[datanode_id] = {
+            "info": codec.encode_replica_info(info) if info is not None else None,
+            "payload_blob": payload.pax.to_bytes(),
+            "meta": {
+                "num_rows": payload.pax.num_rows,
+                "sort_attribute": payload.sort_attribute,
+                "indexed": payload.index is not None,
+                "bad_lines": list(payload.bad_lines),
+                "partition_size": payload.partition_size,
+                "logical_partition_size": payload.logical_partition_size,
+                "pax_layout": payload.pax_layout,
+                "checksummed": bool(replica.checksums),
+            },
+        }
+        use_count, last_tick = namenode.index_usage(block_id, datanode_id)
+        if (use_count, last_tick) != (0, 0):
+            usage[datanode_id] = [use_count, last_tick]
+    return {
+        "path": logical.path,
+        "num_records": logical.num_records,
+        "records_blob": codec.encode_records(logical.schema, logical.records),
+        "bad_lines": list(logical.bad_lines),
+        "text_size_bytes": logical.text_size_bytes,
+        "dir_block": hosts,
+        "replicas": replicas,
+        "usage": usage,
+        "evictions": namenode.block_eviction_tombstones(block_id),
+    }
+
+
+def capture_namenode_control(namenode: "NameNode") -> dict:
+    """The namenode-owned control scalars journaled alongside every block sync."""
+    return {"next_block_id": namenode.next_block_id, "usage_tick": namenode.usage_tick}
+
+
+def capture_system_control(system) -> dict:
+    """The system-owned control state: adaptive salt, tuner feedback, balancer demand."""
+    control: dict = {"adaptive_salt": getattr(system, "_adaptive_salt", 0)}
+    lifecycle = getattr(system, "lifecycle", None)
+    if lifecycle is not None:
+        control["tuner"] = codec.encode_tuner(lifecycle.tuner)
+        if lifecycle.balancer is not None:
+            control["demand"] = dict(lifecycle.balancer.demand)
+    return control
+
+
+def checkpoint_state(system) -> dict:
+    """A full capture of one system's durable state (the ``checkpoint()`` payload)."""
+    hdfs = system.hdfs
+    state = empty_state()
+    for path in sorted(hdfs.namenode.list_files(), key=_path_order(system)):
+        apply_path(state, path, system.schema_of(path))
+    for path in state["paths"]:
+        for block_id in hdfs.namenode.file_blocks(path):
+            state["blocks"][block_id] = capture_block(hdfs, block_id)
+    state["control"].update(capture_namenode_control(hdfs.namenode))
+    state["control"].update(capture_system_control(system))
+    return state
+
+
+def _path_order(system):
+    """Sort key preserving upload order where known (schema-catalog insertion order)."""
+    known = {path: i for i, path in enumerate(getattr(system, "_schemas", {}))}
+    return lambda path: (known.get(path, len(known)), path)
+
+
+# --------------------------------------------------------------------------- restore
+def restore_system(system, state: dict) -> None:
+    """Rebuild a fresh deployment's directories, payloads and control state from a journal.
+
+    The target ``system`` must be empty (as built by a fresh ``Session.deploy``); paths are
+    recreated in journal order, blocks re-adopted under their original ids (ascending —
+    allocation order, since the id counter is monotone), replicas re-seated host by host in
+    ``Dir_block`` registration order, and finally the LRU statistics, tombstones and control
+    scalars are put back verbatim.  Tombstones go in *after* replica registration because
+    ``register_replica`` clears tombstones for freshly indexed attributes — journal entries
+    captured from a live system never contain both, so restore must not re-trigger that rule.
+    """
+    from repro.hail.hail_block import HailBlock
+    from repro.hdfs.block import LogicalBlock, Replica
+    from repro.hdfs.checksum import chunk_checksums
+    from repro.layouts.pax import PaxBlock
+
+    hdfs = system.hdfs
+    namenode = hdfs.namenode
+    ordered_paths = sorted(state["paths"], key=lambda p: state["paths"][p]["position"])
+    schemas = {}
+    for path in ordered_paths:
+        schema = codec.decode_schema(state["paths"][path]["schema"])
+        schemas[path] = schema
+        namenode.create_file(path)
+        system._schemas[path] = schema
+    for block_id in sorted(state["blocks"]):
+        entry = state["blocks"][block_id]
+        schema = schemas[entry["path"]]
+        records = codec.decode_records(schema, entry["records_blob"], entry["num_records"])
+        logical = LogicalBlock(
+            block_id=block_id,
+            path=entry["path"],
+            records=records,
+            schema=schema,
+            bad_lines=list(entry["bad_lines"]),
+            text_size_bytes=entry["text_size_bytes"],
+        )
+        namenode.adopt_block(entry["path"], logical, block_id)
+        for datanode_id in entry["dir_block"]:
+            stored = entry["replicas"][datanode_id]
+            meta = stored["meta"]
+            pax = PaxBlock.from_bytes(schema, stored["payload_blob"], meta["num_rows"])
+            # Re-run the shared sort-and-index path over the already-sorted rows: the
+            # stable sort yields the identity permutation, so the rebuilt replica is
+            # byte-identical to the journaled one, index included.
+            block = HailBlock.build(
+                schema,
+                pax.records(),
+                meta["sort_attribute"] if meta["indexed"] else None,
+                partition_size=meta["partition_size"],
+                bad_lines=meta["bad_lines"],
+                logical_partition_size=meta["logical_partition_size"],
+            )
+            block.pax_layout = meta["pax_layout"]
+            checksums: tuple[int, ...] = ()
+            if meta["checksummed"]:
+                checksums = tuple(chunk_checksums(block.pax.to_bytes()))
+            info = (
+                codec.decode_replica_info(stored["info"])
+                if stored["info"] is not None
+                else None
+            )
+            replica = Replica(
+                block_id=block_id,
+                datanode_id=datanode_id,
+                payload=block,
+                checksums=checksums,
+                sort_attribute=info.sort_attribute if info is not None else None,
+                indexed_attribute=info.indexed_attribute if info is not None else None,
+            )
+            hdfs.datanode(datanode_id).store_replica(replica)
+            namenode.register_replica(block_id, datanode_id, replica_info=info)
+        for datanode_id, (use_count, last_tick) in entry["usage"].items():
+            namenode.set_index_usage(block_id, int(datanode_id), use_count, last_tick)
+        for attribute, datanode_id in entry["evictions"].items():
+            namenode.record_index_eviction(block_id, attribute, datanode_id)
+    control = state["control"]
+    if "next_block_id" in control:
+        namenode.set_next_block_id(control["next_block_id"])
+    if "usage_tick" in control:
+        namenode.set_usage_tick(control["usage_tick"])
+    if hasattr(system, "_adaptive_salt"):
+        system._adaptive_salt = control.get("adaptive_salt", 0)
+    lifecycle = getattr(system, "lifecycle", None)
+    if lifecycle is not None:
+        tuner = codec.decode_tuner(control.get("tuner"))
+        if tuner is not None:
+            lifecycle.tuner = tuner
+        if lifecycle.balancer is not None and control.get("demand"):
+            lifecycle.balancer.demand.update(control["demand"])

@@ -140,6 +140,8 @@ class BaseSystem(abc.ABC):
             raise ValueError("no client nodes available for the upload")
         self.hdfs.namenode.create_file(path)
         self._schemas[path] = schema
+        if self.hdfs.persist is not None:
+            self.hdfs.persist.sync_path(path, schema)
 
         ledger = TransferLedger(self.cluster, self.cost)
         pipeline = self._upload_pipeline()

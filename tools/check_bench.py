@@ -13,12 +13,18 @@ Records dispatch on their ``kind`` field:
   baseline level, every level must answer bit-identically to it, at least one concurrent
   level must show **both** tenants' jobs genuinely interleaving, and the best batch speedup
   over serial must clear its floor.
+- **recovery** (BENCH_8): the crash-recovery curve must restore bit-identically — the
+  post-restore probe runtime equals the warm steady state, the learned index pool
+  (adaptive replicas and zone synopses) survives the kill, every phase answers
+  identically — and the time-to-first-answer speedup over a persistence-off cold
+  restart must clear its floor.
 
 Usage::
 
     python tools/check_bench.py BENCH_6.json
     python tools/check_bench.py --min-speedup 2.0 BENCH_6.json
     python tools/check_bench.py BENCH_7.json
+    python tools/check_bench.py BENCH_8.json
 """
 
 from __future__ import annotations
@@ -33,6 +39,9 @@ MIN_COMBINED_SPEEDUP = 2.0
 
 #: The saturation floor: best concurrent makespan vs. the serial baseline's.
 MIN_SATURATION_SPEEDUP = 1.5
+
+#: The recovery floor: cold-restart time to first answer vs. the restored deployment's.
+MIN_RECOVERY_SPEEDUP = 2.0
 
 #: Workloads every engine record must contain.
 REQUIRED_WORKLOADS = ("filter_micro", "skip_micro", "figure_workload")
@@ -104,6 +113,44 @@ def _check_saturation(record: dict, min_speedup: float) -> list[str]:
     return errors
 
 
+def _check_recovery(record: dict, min_speedup: float) -> list[str]:
+    """Violations of a ``kind: recovery`` record (the BENCH_8 crash-recovery curve)."""
+    errors: list[str] = []
+    for key in ("warm_steady_runtime_s", "restored_runtime_s", "cold_restart_runtime_s"):
+        value = record.get(key)
+        if not (isinstance(value, (int, float)) and value > 0):
+            errors.append(f"{key!r} must be a positive number")
+    if record.get("runtime_bit_identical") is not True:
+        errors.append(
+            "runtime_bit_identical must be true — the restored probe must cost exactly "
+            "the warm steady state, or the journal lost part of the learned index pool"
+        )
+    if record.get("results_identical") is not True:
+        errors.append(
+            "results_identical must be true — a restore that changes answers is "
+            "corruption, not recovery"
+        )
+    if record.get("counts_match") is not True:
+        errors.append(
+            "counts_match must be true — the adaptive-replica and zone-synopsis counts "
+            "must survive the kill exactly"
+        )
+    restored = record.get("adaptive_replicas_restored")
+    if not (isinstance(restored, int) and restored > 0):
+        errors.append(
+            "'adaptive_replicas_restored' must be a positive integer — restoring an "
+            "empty index pool proves nothing"
+        )
+    speedup = record.get("recovery_speedup")
+    if not isinstance(speedup, (int, float)):
+        errors.append("'recovery_speedup' must be a number")
+    elif speedup < min_speedup:
+        errors.append(
+            f"recovery_speedup {speedup:.2f}x is below the {min_speedup:.1f}x floor"
+        )
+    return errors
+
+
 def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     """All schema/floor violations of one parsed record (empty list = valid)."""
     errors: list[str] = []
@@ -117,6 +164,9 @@ def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     if record.get("kind") == "saturation":
         floor = min_speedup if min_speedup is not None else MIN_SATURATION_SPEEDUP
         return errors + _check_saturation(record, floor)
+    if record.get("kind") == "recovery":
+        floor = min_speedup if min_speedup is not None else MIN_RECOVERY_SPEEDUP
+        return errors + _check_recovery(record, floor)
     if min_speedup is None:
         min_speedup = MIN_COMBINED_SPEEDUP
     if not isinstance(record.get("numpy_available"), bool):
@@ -162,7 +212,8 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "speedup floor override (default: "
             f"{MIN_COMBINED_SPEEDUP} for engine records, "
-            f"{MIN_SATURATION_SPEEDUP} for saturation records)"
+            f"{MIN_SATURATION_SPEEDUP} for saturation records, "
+            f"{MIN_RECOVERY_SPEEDUP} for recovery records)"
         ),
     )
     options = parser.parse_args(argv)
@@ -183,6 +234,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{record['best_speedup_vs_serial']:.2f}x over "
             f"{record['tenants']} tenants, "
             f"results_identical={record['results_identical']}"
+        )
+    elif record.get("kind") == "recovery":
+        print(
+            f"check_bench: {options.path} ok — recovery_speedup="
+            f"{record['recovery_speedup']:.2f}x, "
+            f"runtime_bit_identical={record['runtime_bit_identical']}, "
+            f"adaptive_replicas_restored={record['adaptive_replicas_restored']}"
         )
     else:
         print(

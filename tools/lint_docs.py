@@ -37,6 +37,9 @@ DOCSTRING_FLOORS: dict[str, float] = {
     # The storage layouts carry the zone-map synopses and typed-column views the performance
     # guide (docs/performance.md) documents: same bar as the engine they feed.
     "src/repro/layouts": 0.95,
+    # The persistence layer is operator-facing through docs/persistence.md and defines the
+    # crash-safety contract the recovery tests rely on: it must stay documented.
+    "src/repro/persist": 0.95,
 }
 
 #: Markdown documents whose relative links are checked.
@@ -50,6 +53,7 @@ REQUIRED_DOCUMENTS: tuple[str, ...] = (
     "docs/adaptive-indexing.md",
     "docs/scheduling.md",
     "docs/performance.md",
+    "docs/persistence.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
