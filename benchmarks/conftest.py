@@ -25,7 +25,8 @@ def pytest_sessionfinish(session, exitstatus):
     step sets it to ``BENCH_6.json``), ``REPRO_BENCH_SATURATION=<output path>`` for
     the multi-tenant concurrency record (``BENCH_7.json``), and/or
     ``REPRO_BENCH_RECOVERY=<output path>`` for the crash-recovery record
-    (``BENCH_8.json``).  The engine recorder lives in
+    (``BENCH_8.json``), and/or ``REPRO_BENCH_OPERATORS=<output path>`` for the relational
+    operator record (``BENCH_9.json``).  The engine recorder lives in
     :mod:`benchmarks.bench_record`, which is not a package module, so it is loaded by file
     path; quick mode keeps the hook cheap.
     """
@@ -58,6 +59,16 @@ def pytest_sessionfinish(session, exitstatus):
         print(
             f"\nwrote {recovery_path}: recovery_speedup="
             f"{payload['recovery_speedup']:.2f}x"
+        )
+    operators_path = os.environ.get("REPRO_BENCH_OPERATORS", "").strip()
+    if operators_path:
+        from repro.experiments.operators import write_record as write_operators
+
+        payload = write_operators(operators_path)
+        print(
+            f"\nwrote {operators_path}: combiner_reduction="
+            f"{payload['combiner']['pair_reduction']:.2f}x, "
+            f"topk_read_fraction={payload['topk']['read_fraction']:.2f}"
         )
 
 

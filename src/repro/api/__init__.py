@@ -12,7 +12,11 @@ planner.
   reference semantics the compiler is tested against);
 - :mod:`repro.api.logical` — the :class:`LogicalQuery` IR and the normalizer that compiles
   expression trees into the engine's :class:`~repro.workloads.query.Query` (flattening
-  conjunctions, merging per-attribute ranges, ordering clauses by estimated selectivity);
+  conjunctions, merging per-attribute ranges, ordering clauses by estimated selectivity),
+  plus the relational-operator IR nodes (:class:`LogicalAggregate`, :class:`LogicalJoin`,
+  :class:`LogicalTopK`) lowering ``group_by``/``join``/``order_by``+``limit`` trees to the
+  engine's operator queries — inexpressible combinations raise
+  :class:`UnsupportedExpressionError`, never a wrong plan;
 - :mod:`repro.api.session` — :class:`Session` (owns cluster + systems + cost model),
   :class:`Dataset` (lazy ``where``/``select`` builder with ``collect``/``explain``/``submit``),
   batched workload execution (:meth:`Session.run_batch`, concurrent when the deployment
@@ -33,7 +37,14 @@ from repro.api.expressions import (
     UnsupportedExpressionError,
     col,
 )
-from repro.api.logical import LogicalQuery, estimated_selectivity_rank, normalize
+from repro.api.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalQuery,
+    LogicalTopK,
+    estimated_selectivity_rank,
+    normalize,
+)
 from repro.api.session import (
     BatchExecutionError,
     BatchResult,
@@ -43,18 +54,26 @@ from repro.api.session import (
     SessionStats,
     run_multi_tenant_batch,
 )
+from repro.engine.operators import AggregateSpec, GroupByQuery, JoinQuery, TopKQuery
 
 __all__ = [
+    "AggregateSpec",
     "BatchExecutionError",
     "BatchResult",
     "ColumnExpr",
     "ComparisonExpr",
     "Dataset",
     "Expr",
+    "GroupByQuery",
+    "JoinQuery",
+    "LogicalAggregate",
+    "LogicalJoin",
     "LogicalQuery",
+    "LogicalTopK",
     "QueryHandle",
     "Session",
     "SessionStats",
+    "TopKQuery",
     "UnsupportedExpressionError",
     "col",
     "estimated_selectivity_rank",

@@ -166,6 +166,128 @@ class LogicalQuery:
         return self.where.evaluate(record, schema)
 
 
+# --------------------------------------------------------------------------- operator IR
+@dataclass(frozen=True)
+class LogicalAggregate:
+    """Grouped-aggregation IR node: ``GROUP BY keys`` + aggregates over a scan source.
+
+    Compilation rules (each violation raises :class:`UnsupportedExpressionError`, never a
+    wrong plan): at least one key *and* one aggregate must be present — ``group_by`` without
+    ``agg`` has no output columns and ``agg`` without ``group_by`` would be a global
+    aggregate the engine does not implement — and the source must not carry a ``select``
+    (the output columns are exactly ``keys + aggregates``; a projection underneath is
+    ambiguous).
+    """
+
+    name: str
+    source: LogicalQuery
+    keys: tuple[str, ...]
+    aggregates: tuple[Any, ...]
+    combiner: bool = True
+
+    def compile(self):
+        """Lower to the engine's :class:`~repro.engine.operators.GroupByQuery`."""
+        from repro.engine.operators import AggregateSpec, GroupByQuery
+
+        if not self.keys:
+            raise UnsupportedExpressionError(
+                "agg(...) without group_by(...): global aggregates are not expressible; "
+                "group by at least one attribute"
+            )
+        if not self.aggregates:
+            raise UnsupportedExpressionError(
+                "group_by(...) without agg(...): a grouping needs at least one aggregate "
+                "column (e.g. .agg('count(*)'))"
+            )
+        if self.source.select is not None:
+            raise UnsupportedExpressionError(
+                "select(...) cannot be combined with group_by(...): the output columns of a "
+                "grouped aggregation are exactly its keys and aggregates"
+            )
+        specs = tuple(
+            spec if isinstance(spec, AggregateSpec) else AggregateSpec.parse(spec)
+            for spec in self.aggregates
+        )
+        return GroupByQuery(
+            name=self.name,
+            keys=self.keys,
+            aggregates=specs,
+            predicate=self.source.predicate(),
+            combiner=self.combiner,
+        )
+
+
+@dataclass(frozen=True)
+class LogicalJoin:
+    """Equi-join IR node: two scan sources joined on one attribute.
+
+    Joins compose with per-side ``where``/``select`` but not with ``group_by``/``order_by``/
+    ``limit`` on top (no operator tree beyond one join is expressible; violations raise
+    :class:`UnsupportedExpressionError` at the ``Dataset`` layer before this node is built).
+    """
+
+    name: str
+    key: str
+    left: LogicalQuery
+    right: LogicalQuery
+    left_path: str
+    right_path: str
+    strategy: Optional[str] = None
+
+    def compile(self):
+        """Lower to the engine's :class:`~repro.engine.operators.JoinQuery`."""
+        from repro.engine.operators import JoinQuery
+
+        return JoinQuery(
+            name=self.name,
+            key=self.key,
+            left_path=self.left_path,
+            right_path=self.right_path,
+            left=self.left.compile(),
+            right=self.right.compile(),
+            strategy=self.strategy,
+        )
+
+
+@dataclass(frozen=True)
+class LogicalTopK:
+    """Ranked top-k IR node: ``ORDER BY order_by [DESC] LIMIT k`` over a scan source.
+
+    ``order_by`` without ``limit`` (an unbounded sort) and ``limit`` without ``order_by``
+    (an arbitrary row sample) are both rejected with :class:`UnsupportedExpressionError` —
+    only the ranked, bounded combination has deterministic semantics the engine implements.
+    """
+
+    name: str
+    source: LogicalQuery
+    order_by: Optional[str]
+    k: Optional[int]
+    descending: bool = False
+
+    def compile(self):
+        """Lower to the engine's :class:`~repro.engine.operators.TopKQuery`."""
+        from repro.engine.operators import TopKQuery
+
+        if self.order_by is None:
+            raise UnsupportedExpressionError(
+                "limit(...) without order_by(...): an unranked LIMIT has no deterministic "
+                "result; order by an attribute first"
+            )
+        if self.k is None:
+            raise UnsupportedExpressionError(
+                "order_by(...) without limit(...): unbounded sorts are not expressible; "
+                "add .limit(k)"
+            )
+        return TopKQuery(
+            name=self.name,
+            order_by=self.order_by,
+            k=self.k,
+            descending=self.descending,
+            predicate=self.source.predicate(),
+            projection=self.source.select,
+        )
+
+
 # --------------------------------------------------------------------------- negation pushdown
 def _push_not(expression: Expr, negate: bool = False) -> Expr:
     """Eliminate :class:`NotExpr` nodes by flipping comparisons (De Morgan below booleans)."""

@@ -36,20 +36,45 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from repro.api.expressions import ColumnExpr, Expr, UnsupportedExpressionError
-from repro.api.logical import LogicalQuery
+from repro.api.logical import LogicalAggregate, LogicalJoin, LogicalQuery, LogicalTopK
 from repro.baselines import HadoopPlusPlusSystem, HadoopSystem
 from repro.cluster.costmodel import CostModel, CostParameters
 from repro.cluster.failure import FailureEvent
 from repro.cluster.hardware import HardwareProfile
 from repro.cluster.topology import Cluster
+from repro.engine.operators import (
+    GroupByQuery,
+    JoinQuery,
+    TopKQuery,
+    execute as execute_operator,
+    explain_operator,
+)
 from repro.hail import HailConfig, HailSystem
 from repro.layouts.schema import Schema
 from repro.mapreduce.counters import Counters
 from repro.systems.base import BaseSystem, QueryResult, SystemUploadReport
 from repro.workloads.query import Query
 
-#: Anything the session can execute: a lazy dataset, the IR, or the compiled form.
-Runnable = Union["Dataset", "QueryHandle", LogicalQuery, Query]
+#: The compiled relational-operator query forms (executed via the operator dispatch, not
+#: ``system.run_query``).
+_OPERATOR_QUERIES = (GroupByQuery, JoinQuery, TopKQuery)
+#: The operator IR nodes (lowered by ``compile()`` like ``LogicalQuery``).
+_OPERATOR_IR = (LogicalAggregate, LogicalJoin, LogicalTopK)
+
+#: Anything the session can execute: a lazy dataset, the IR, or a compiled form
+#: (scan/selection ``Query`` or one of the relational-operator query objects).
+Runnable = Union[
+    "Dataset",
+    "QueryHandle",
+    LogicalQuery,
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalTopK,
+    Query,
+    GroupByQuery,
+    JoinQuery,
+    TopKQuery,
+]
 
 
 # --------------------------------------------------------------------------- lazy datasets
@@ -70,6 +95,15 @@ class Dataset:
     _name: Optional[str] = None
     _description: str = ""
     _selectivity: Optional[float] = None
+    # Relational-operator state (one operator per dataset; incompatible combinations are
+    # rejected by the builders or at compile time, never silently mis-planned).
+    _group_keys: Optional[tuple[str, ...]] = None
+    _aggregates: Optional[tuple] = None
+    _combiner: bool = True
+    _order_attr: Optional[str] = None
+    _descending: bool = False
+    _limit: Optional[int] = None
+    _join: Optional[tuple] = None
 
     # ------------------------------------------------------------------ builders
     def where(self, expression: Expr) -> "Dataset":
@@ -101,19 +135,133 @@ class Dataset:
         """Attach the paper's stated selectivity (reporting only)."""
         return replace(self, _selectivity=selectivity)
 
+    # ------------------------------------------------------------------ operator builders
+    def group_by(self, *keys: str) -> "Dataset":
+        """Group the output by the named attributes; follow with :meth:`agg`.
+
+        Grouping cannot be combined with :meth:`join`, :meth:`order_by` or :meth:`limit`
+        (the engine implements one relational operator per query, never a silent mis-plan).
+        """
+        if not keys:
+            raise ValueError("group_by() needs at least one key attribute")
+        if self._join is not None:
+            raise UnsupportedExpressionError(
+                "group_by() cannot be combined with join(): one operator per query"
+            )
+        if self._order_attr is not None or self._limit is not None:
+            raise UnsupportedExpressionError(
+                "group_by() cannot be combined with order_by()/limit(): one operator per query"
+            )
+        return replace(self, _group_keys=tuple(keys))
+
+    def agg(self, *specs) -> "Dataset":
+        """Set the aggregate columns (``"count(*)"``, ``"sum(f2)"``, or ``AggregateSpec``)."""
+        if not specs:
+            raise ValueError("agg() needs at least one aggregate spec")
+        if self._join is not None:
+            raise UnsupportedExpressionError(
+                "agg() cannot be combined with join(): one operator per query"
+            )
+        if self._order_attr is not None or self._limit is not None:
+            raise UnsupportedExpressionError(
+                "agg() cannot be combined with order_by()/limit(): one operator per query"
+            )
+        return replace(self, _aggregates=tuple(specs))
+
+    def with_combiner(self, enabled: bool = True) -> "Dataset":
+        """Switch the map-side combiner of a grouped aggregation (on by default).
+
+        Results are bit-identical either way; only the shuffled pair volume (visible in the
+        ``COMBINE_*``/``SHUFFLE_BYTES_SAVED`` counters) changes — the benchmark's A/B knob.
+        """
+        return replace(self, _combiner=enabled)
+
+    def join(self, other: "Dataset", on: str, strategy: Optional[str] = None) -> "Dataset":
+        """Equi-join with another dataset of the same session on one attribute.
+
+        Each side keeps its own ``where``/``select``; ``strategy`` forces ``"merge"`` or
+        ``"hash"`` (``None`` lets the planner pick merge when ``Dir_rep`` proves both sides
+        co-partitioned on ``on``).  No further operators can stack on a join.
+        """
+        if not isinstance(other, Dataset):
+            raise TypeError(f"join() expects a Dataset, got {other!r}")
+        if other.session is not self.session:
+            raise ValueError("join() requires both datasets to belong to the same session")
+        for side, label in ((self, "left"), (other, "right")):
+            if (
+                side._join is not None
+                or side._group_keys is not None
+                or side._aggregates is not None
+                or side._order_attr is not None
+                or side._limit is not None
+            ):
+                raise UnsupportedExpressionError(
+                    f"join() {label} side already carries another operator; joins compose "
+                    "only with where()/select() per side"
+                )
+        return replace(self, _join=(other, on, strategy))
+
+    def order_by(self, attribute: str, descending: bool = False) -> "Dataset":
+        """Rank the output by one attribute; must be followed by :meth:`limit`."""
+        if self._join is not None or self._group_keys is not None or self._aggregates is not None:
+            raise UnsupportedExpressionError(
+                "order_by() cannot be combined with join()/group_by(): one operator per query"
+            )
+        return replace(self, _order_attr=attribute, _descending=descending)
+
+    def limit(self, k: int) -> "Dataset":
+        """Keep the top ``k`` rows of an :meth:`order_by` ranking (``LIMIT k``)."""
+        if self._join is not None or self._group_keys is not None or self._aggregates is not None:
+            raise UnsupportedExpressionError(
+                "limit() cannot be combined with join()/group_by(): one operator per query"
+            )
+        return replace(self, _limit=k)
+
     # ------------------------------------------------------------------ lowering
-    def logical(self) -> LogicalQuery:
-        """The dataset's current state as the :class:`LogicalQuery` IR."""
-        return LogicalQuery(
-            name=self._name or self.session._next_query_name(self.path),
+    def logical(self) -> Union[LogicalQuery, LogicalAggregate, LogicalJoin, LogicalTopK]:
+        """The dataset's current state as IR: a scan, or one relational-operator node."""
+        name = self._name or self.session._next_query_name(self.path)
+        scan = LogicalQuery(
+            name=name,
             where=self._where,
             select=self._select,
             description=self._description,
             selectivity=self._selectivity,
         )
+        if self._join is not None:
+            other, key, strategy = self._join
+            right = LogicalQuery(
+                name=f"{name}-right", where=other._where, select=other._select
+            )
+            return LogicalJoin(
+                name=name,
+                key=key,
+                left=scan,
+                right=right,
+                left_path=self.path,
+                right_path=other.path,
+                strategy=strategy,
+            )
+        if self._group_keys is not None or self._aggregates is not None:
+            return LogicalAggregate(
+                name=name,
+                source=scan,
+                keys=self._group_keys or (),
+                aggregates=self._aggregates or (),
+                combiner=self._combiner,
+            )
+        if self._order_attr is not None or self._limit is not None:
+            return LogicalTopK(
+                name=name,
+                source=scan,
+                order_by=self._order_attr,
+                k=self._limit,
+                descending=self._descending,
+            )
+        return scan
 
-    def to_query(self) -> Query:
-        """Compile to the stable :class:`~repro.workloads.query.Query` the engine executes."""
+    def to_query(self) -> Union[Query, GroupByQuery, JoinQuery, TopKQuery]:
+        """Compile to the stable form the engine executes (scan or operator query)."""
         return self.logical().compile()
 
     # ------------------------------------------------------------------ execution
@@ -133,8 +281,7 @@ class Dataset:
         Adaptive deployments replan as replicas appear and disappear, so the same dataset can
         explain differently before and after a batch — that is the point.
         """
-        target = self.session.system(system)
-        return target.explain(self.to_query(), self.path)
+        return self.session.explain(self, system=system)
 
     def submit(self, system: Optional[str] = None) -> "QueryHandle":
         """Defer execution: enqueue on the session and return a handle.
@@ -357,6 +504,46 @@ class SessionStats:
     def sched_jobs_interleaved(self) -> int:
         """Jobs whose map phase overlapped another in-flight job on the shared slots."""
         return int(self.counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED))
+
+    @property
+    def combine_input_records(self) -> int:
+        """Map-output pairs fed into map-side combiners across the session."""
+        return int(self.counter(Counters.COMBINE_INPUT_RECORDS))
+
+    @property
+    def combine_output_records(self) -> int:
+        """Pairs map-side combiners emitted (what actually crossed the shuffle)."""
+        return int(self.counter(Counters.COMBINE_OUTPUT_RECORDS))
+
+    @property
+    def shuffle_bytes_saved(self) -> float:
+        """Simulated shuffle bytes map-side combining kept off the network."""
+        return self.counter(Counters.SHUFFLE_BYTES_SAVED)
+
+    @property
+    def join_merge_joins(self) -> int:
+        """Joins executed shuffle-free via the co-partitioned merge strategy."""
+        return int(self.counter(Counters.JOIN_MERGE_JOINS))
+
+    @property
+    def join_hash_joins(self) -> int:
+        """Joins that fell back to (or forced) the shuffle hash strategy."""
+        return int(self.counter(Counters.JOIN_HASH_JOINS))
+
+    @property
+    def join_output_records(self) -> int:
+        """Rows produced by equi-joins across the session."""
+        return int(self.counter(Counters.JOIN_OUTPUT_RECORDS))
+
+    @property
+    def topk_blocks_read(self) -> int:
+        """Blocks whose payload a top-k query actually opened."""
+        return int(self.counter(Counters.TOPK_BLOCKS_READ))
+
+    @property
+    def topk_blocks_skipped(self) -> int:
+        """Blocks top-k early termination pruned without opening their payload."""
+        return int(self.counter(Counters.TOPK_BLOCKS_SKIPPED))
 
 
 # --------------------------------------------------------------------------- the session
@@ -625,7 +812,15 @@ class Session:
         """
         query, query_path, target_name = self._resolve(item, system, path)
         target = self.system(target_name)
-        result = target.run_query(query, query_path, failure=failure)
+        if isinstance(query, _OPERATOR_QUERIES):
+            if failure is not None:
+                raise ValueError(
+                    "failure injection is not supported for relational-operator queries; "
+                    "run the failure experiment on a plain selection query"
+                )
+            result = execute_operator(target, query, query_path)
+        else:
+            result = target.run_query(query, query_path, failure=failure)
         self._record(target_name, result)
         if isinstance(item, QueryHandle):
             item._result = result
@@ -679,6 +874,19 @@ class Session:
 
         for target_name, positions in groups.items():
             policy = policies[target_name]
+            # Operator queries run through the operator dispatch, not the concurrent
+            # JobTracker drain — execute them serially (in submission order) up front.
+            operator_positions = [
+                p for p in positions if isinstance(resolved[p][0], _OPERATOR_QUERIES)
+            ]
+            for position in operator_positions:
+                try:
+                    results[position] = self.run(items[position], system=system, path=path)
+                except Exception as error:
+                    raise self._batch_error(items, results, position, error) from error
+            positions = [p for p in positions if p not in set(operator_positions)]
+            if not positions:
+                continue
             if policy is None or len(positions) <= 1:
                 for position in positions:
                     try:
@@ -708,6 +916,8 @@ class Session:
     ) -> str:
         """``EXPLAIN`` the plan the (default) system would choose for ``item`` right now."""
         query, query_path, target_name = self._resolve(item, system, path)
+        if isinstance(query, _OPERATOR_QUERIES):
+            return explain_operator(self.system(target_name), query, query_path)
         return self.system(target_name).explain(query, query_path)
 
     # ------------------------------------------------------------------ statistics
@@ -804,16 +1014,18 @@ class Session:
         if isinstance(item, QueryHandle):
             # An explicit system= wins over the one recorded at submit time.
             return item.query, item.path, system if system is not None else item.system
-        if isinstance(item, LogicalQuery):
-            return item.compile(), self._require_path(path), (
-                system if system is not None else self._default
-            )
-        if isinstance(item, Query):
+        if isinstance(item, (LogicalQuery,) + _OPERATOR_IR):
+            item = item.compile()
+        if isinstance(item, JoinQuery):
+            # Joins carry their own paths; the left side anchors the resolution.
+            return item, item.left_path, system if system is not None else self._default
+        if isinstance(item, (Query,) + _OPERATOR_QUERIES):
             return item, self._require_path(path), (
                 system if system is not None else self._default
             )
         raise TypeError(
-            f"cannot run {item!r}; expected a Dataset, QueryHandle, LogicalQuery or Query"
+            f"cannot run {item!r}; expected a Dataset, QueryHandle, a Logical* IR node, "
+            "a compiled Query, or an operator query (GroupByQuery/JoinQuery/TopKQuery)"
         )
 
     def _require_path(self, path: Optional[str]) -> str:

@@ -16,7 +16,10 @@ privately inside their record readers:
 - :mod:`repro.engine.lifecycle`   — adaptive-index lifecycle management:
   :class:`AdaptiveLifecycleManager` runs disk-pressure LRU eviction
   (:func:`evict_under_pressure`) and the :class:`AdaptiveTuner` feedback controller that
-  replaces the static offer-rate/budget knobs.
+  replaces the static offer-rate/budget knobs;
+- :mod:`repro.engine.operators`   — relational operators on top of the scan engine: grouped
+  aggregation with map-side combiners, co-partitioned merge / shuffle hash equi-joins, and
+  ranked top-k with zone-range early termination.
 
 Record readers are thin shells over ``planner.plan_block()`` + ``executor.execute()``; every
 :class:`~repro.systems.base.QueryResult` carries the :class:`QueryPlan` that produced it.
@@ -47,9 +50,25 @@ from repro.engine.executor import (
     clause_mask,
     vectorized_filter,
 )
+from repro.engine.operators import (
+    AggregateSpec,
+    GroupByQuery,
+    JoinQuery,
+    OperatorQuery,
+    TopKQuery,
+    execute_operator_query,
+    explain_operator,
+)
 from repro.engine.planner import PhysicalPlanner, QueryPlan, choose_indexed_host
 
 __all__ = [
+    "AggregateSpec",
+    "GroupByQuery",
+    "JoinQuery",
+    "OperatorQuery",
+    "TopKQuery",
+    "execute_operator_query",
+    "explain_operator",
     "AccessPath",
     "ADAPTIVE_PROPERTY",
     "AdaptiveCommitReport",

@@ -24,6 +24,8 @@ Overview (see DESIGN.md for the full per-experiment index):
 - :mod:`repro.experiments.recovery`   — crash recovery: kill a persistent deployment after
   adaptive convergence, restore from the journal, and compare the time to first answer
   against a persistence-off cold restart (extension)
+- :mod:`repro.experiments.operators`  — relational operators on the HAIL layout: combiner
+  shuffle reduction, merge vs hash join strategy, top-k early termination (extension)
 - :mod:`repro.experiments.runner`     — run everything and print a report
 """
 
@@ -35,6 +37,7 @@ from repro.experiments import (
     adaptive,
     adaptive_lifecycle,
     failover,
+    operators,
     placement,
     queries,
     recovery,
@@ -56,6 +59,7 @@ __all__ = [
     "adaptive",
     "adaptive_lifecycle",
     "failover",
+    "operators",
     "placement",
     "queries",
     "recovery",

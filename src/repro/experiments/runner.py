@@ -16,6 +16,7 @@ from repro.experiments import (
     adaptive,
     adaptive_lifecycle,
     failover,
+    operators,
     placement,
     queries,
     scaleout,
@@ -57,6 +58,7 @@ def run_all(
     run("adaptive", lambda: adaptive.adaptive_convergence(config))
     run("adaptive_lifecycle", lambda: adaptive_lifecycle.adaptive_lifecycle_curve(config))
     run("placement", lambda: placement.placement_recovery_curve(config))
+    run("operators", lambda: operators.operators_curve(config))
 
     if progress is not None:
         progress("fig9")

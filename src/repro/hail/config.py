@@ -117,6 +117,13 @@ class HailConfig:
         the payload's per-partition synopsis.  Both layers fail closed — any synopsis doubt
         degrades to a full scan, never to a dropped row — and skipping changes what is *read*,
         never what is returned.
+    zone_split_pruning:
+        Push zone-map skipping into the *split phase* (requires ``zone_maps``): the input
+        format drops every input split whose blocks are all provably skippable, so the
+        JobTracker never schedules their map tasks at all — saving the per-task scheduling
+        overhead on top of the data bytes.  Pruned blocks are reported through the job's
+        ``ZONE_MAP_SKIPPED_BLOCKS``/``ZONE_MAP_PRUNED_BYTES`` counters; same fail-closed
+        rules as ``zone_maps``.
     max_concurrent_jobs:
         Admission gate of the concurrent service layer (off by default: ``1`` reproduces
         strictly serial execution, keeping the Figure 6/7 baselines bit-identical): how many
@@ -173,6 +180,7 @@ class HailConfig:
     placement_rebuilds_per_job: int = 2
     placement_migrations_per_job: int = 4
     zone_maps: bool = False
+    zone_split_pruning: bool = False
     max_concurrent_jobs: int = 1
     scheduler_queue_policy: str = "fair"
     tenant_slot_quota: Optional[int] = None
@@ -212,6 +220,11 @@ class HailConfig:
             )
         if not 1.0 <= self.placement_skew_low <= self.placement_skew_high:
             raise ValueError("placement skew watermarks must satisfy 1 <= low <= high")
+        if self.zone_split_pruning and not self.zone_maps:
+            raise ValueError(
+                "zone_split_pruning drops splits based on Dir_rep zone synopses; "
+                "enable zone_maps as well"
+            )
         if self.placement_rebuilds_per_job < 0 or self.placement_migrations_per_job < 0:
             raise ValueError("placement per-job work bounds must be non-negative")
         # Concurrency knob validation lives in ConcurrencyPolicy (the class that enforces
@@ -357,9 +370,20 @@ class HailConfig:
             overrides["placement_migrations_per_job"] = migrations_per_job
         return replace(self, **overrides)
 
-    def with_zone_maps(self, enabled: bool = True) -> "HailConfig":
-        """Copy of this configuration with zone-map data skipping toggled."""
-        return replace(self, zone_maps=enabled)
+    def with_zone_maps(
+        self, enabled: bool = True, split_pruning: Optional[bool] = None
+    ) -> "HailConfig":
+        """Copy of this configuration with zone-map data skipping toggled.
+
+        ``split_pruning`` additionally lets :class:`~repro.hail.input_format.HailInputFormat`
+        drop whole input splits whose every block is provably skippable, so the JobTracker
+        never schedules their map tasks (counted as ``ZONE_MAP_SKIPPED_BLOCKS``); it
+        requires ``zone_maps`` and is left unchanged when not given.
+        """
+        overrides: dict = {"zone_maps": enabled}
+        if split_pruning is not None:
+            overrides["zone_split_pruning"] = split_pruning
+        return replace(self, **overrides)
 
     def with_concurrency(
         self,

@@ -21,6 +21,7 @@ from collections import defaultdict
 from typing import Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.engine.access_path import AccessPath
 from repro.engine.adaptive import ADAPTIVE_PROPERTY, AdaptiveJobContext, next_fallback_salt
 from repro.engine.planner import PhysicalPlanner
 from repro.hail.annotation import resolve_annotation
@@ -28,7 +29,7 @@ from repro.hail.config import HailConfig
 from repro.hail.record_reader import HailRecordReader
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.input_format import InputFormat
-from repro.mapreduce.job import JobConf
+from repro.mapreduce.job import PRUNED_BLOCKS_PROPERTY, JobConf
 from repro.mapreduce.record_reader import RecordReader
 from repro.mapreduce.split import InputSplit
 
@@ -47,8 +48,13 @@ class HailInputFormat(InputFormat):
         if not locations:
             return []
 
-        planner = PhysicalPlanner(hdfs)
         annotation = resolve_annotation(jobconf)
+        if self.config.zone_split_pruning:
+            locations = self._prune_skippable_blocks(hdfs, jobconf, locations, annotation)
+            if not locations:
+                return []
+
+        planner = PhysicalPlanner(hdfs)
         query_plan = planner.plan_query(jobconf.input_path, annotation)
         filter_attributes = query_plan.filter_attributes
         block_choices: dict[int, Optional[tuple[int, str]]] = {}
@@ -65,6 +71,42 @@ class HailInputFormat(InputFormat):
                 hdfs, jobconf, cost, locations, block_choices, index_hosts
             )
         return self._default_splitting(jobconf, locations, block_choices, index_hosts)
+
+    @staticmethod
+    def _prune_skippable_blocks(
+        hdfs: Hdfs, jobconf: JobConf, locations, annotation
+    ) -> list:
+        """Zone-aware split pruning: drop blocks the ``Dir_rep`` synopses prove empty.
+
+        A zone-map-enabled planner pass classifies each block; blocks planned as
+        ``ZONE_MAP_SKIP`` never become part of any input split, so the JobTracker schedules
+        no map task for them at all — the per-task overhead is saved on top of the data
+        bytes.  The pruned counts are stashed under ``PRUNED_BLOCKS_PROPERTY`` for the
+        runner to fold into ``ZONE_MAP_SKIPPED_BLOCKS``/``ZONE_MAP_PRUNED_BYTES``.
+
+        Split-phase pruning trusts the registered synopses without the executor's payload
+        re-verification (there is no task left to verify in); the synopses are written from
+        the payload itself at replica-registration time, so this stays a metadata-consistency
+        trade the ``zone_split_pruning`` knob makes explicit.
+        """
+        if annotation is None or annotation.filter is None:
+            return locations
+        planner = PhysicalPlanner(hdfs, zone_maps=True)
+        plan = planner.plan_query(jobconf.input_path, annotation)
+        skippable = {
+            block_plan.block_id
+            for block_plan in plan.block_plans
+            if block_plan.access_path is AccessPath.ZONE_MAP_SKIP
+        }
+        if not skippable:
+            return locations
+        kept = [location for location in locations if location.block_id not in skippable]
+        pruned = [location for location in locations if location.block_id in skippable]
+        jobconf.properties[PRUNED_BLOCKS_PROPERTY] = {
+            "blocks": len(pruned),
+            "bytes": sum(location.length_bytes for location in pruned),
+        }
+        return kept
 
     @staticmethod
     def _index_hosts(

@@ -82,6 +82,25 @@ class Counters:
     #: Jobs whose map phase overlapped another in-flight job on the shared slot pool
     #: (the saturation benchmark's "genuinely interleaved" evidence).
     SCHED_QUEUE_JOBS_INTERLEAVED = "SCHED_QUEUE_JOBS_INTERLEAVED"
+    #: Relational operator subsystem (only incremented by jobs that install a combiner or
+    #: run through ``repro.engine.operators``, so plain scan jobs — and the pinned Figure
+    #: 6/7 golden runs — observe no new counters): intermediate pairs fed into map-side
+    #: combiners, ...
+    COMBINE_INPUT_RECORDS = "COMBINE_INPUT_RECORDS"
+    #: ... pairs the combiners emitted (input minus output = pairs never shuffled), ...
+    COMBINE_OUTPUT_RECORDS = "COMBINE_OUTPUT_RECORDS"
+    #: ... and the scaled shuffle bytes those eliminated pairs would have cost.
+    SHUFFLE_BYTES_SAVED = "SHUFFLE_BYTES_SAVED"
+    #: Equi-joins executed as co-partitioned map-side merge joins (no shuffle), ...
+    JOIN_MERGE_JOINS = "JOIN_MERGE_JOINS"
+    #: ... equi-joins that fell back to the shuffle hash join, ...
+    JOIN_HASH_JOINS = "JOIN_HASH_JOINS"
+    #: ... and joined rows emitted by either strategy.
+    JOIN_OUTPUT_RECORDS = "JOIN_OUTPUT_RECORDS"
+    #: Blocks a ranked top-k operator actually read, ...
+    TOPK_BLOCKS_READ = "TOPK_BLOCKS_READ"
+    #: ... and blocks its zone-map/sort-order bounds proved could not contribute.
+    TOPK_BLOCKS_SKIPPED = "TOPK_BLOCKS_SKIPPED"
 
     @staticmethod
     def per_attribute(base: str, attribute: str) -> str:

@@ -13,6 +13,12 @@ Mapper = Callable[[Any, Any], Optional[Iterable[tuple]]]
 Reducer = Callable[[Any, list], Optional[Iterable[tuple]]]
 
 
+#: Property under which an input format reports blocks it pruned during the split phase
+#: (``{"blocks": int, "bytes": int}``); the runner pops it into the job's counters, so the
+#: stash never leaks into a later run of the same ``JobConf``.
+PRUNED_BLOCKS_PROPERTY = "mapreduce.split.pruned"
+
+
 def identity_mapper(key: Any, value: Any) -> Iterable[tuple]:
     """Default mapper: pass the record through unchanged."""
     return [(key, value)]
@@ -33,6 +39,10 @@ class JobConf:
     input_path: str
     mapper: Mapper = identity_mapper
     reducer: Optional[Reducer] = None
+    #: Optional map-side combiner (same signature as the reducer): applied to every map
+    #: task's output before the shuffle, so commutative/associative aggregations pay the
+    #: network for one partial pair per (task, key) instead of one pair per input record.
+    combiner: Optional[Reducer] = None
     num_reduce_tasks: int = 0
     input_format: Any = None
     properties: dict = field(default_factory=dict)

@@ -27,7 +27,7 @@ from repro.cluster.failure import FailureEvent
 from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.job import PRUNED_BLOCKS_PROPERTY, JobConf, JobResult
 from repro.mapreduce.job_client import JobClient
 from repro.mapreduce.job_tracker import (
     ConcurrencyPolicy,
@@ -35,7 +35,7 @@ from repro.mapreduce.job_tracker import (
     JobTracker,
     ScheduleOutcome,
 )
-from repro.mapreduce.shuffle import run_reduce_phase
+from repro.mapreduce.shuffle import combine_map_output, run_reduce_phase
 from repro.mapreduce.task import MapTask
 
 
@@ -160,9 +160,15 @@ class MapReduceRunner:
         if commit_adaptive:
             self._commit_adaptive_builds(outcome, counters)
 
+        self._count_pruned_splits(jobconf, counters)
+
         map_output: list[tuple] = []
         for attempt in outcome.scheduled:
-            map_output.extend(attempt.result.output)
+            # Map-side combine: each attempt is one map task, so combining per attempt is
+            # exactly Hadoop's combiner scope — partials never cross task boundaries.
+            map_output.extend(
+                combine_map_output(attempt.result.output, jobconf, self.cost, counters)
+            )
 
         reduce_result = run_reduce_phase(map_output, jobconf, self.cluster, self.cost, counters)
         output = reduce_result.output if jobconf.reducer is not None else map_output
@@ -212,6 +218,21 @@ class MapReduceRunner:
             failure_node=outcome.failure_node,
             rescheduled_tasks=outcome.rescheduled,
         )
+
+    @staticmethod
+    def _count_pruned_splits(jobconf: JobConf, counters: Counters) -> None:
+        """Fold the split phase's zone-pruning report (if any) into the job's counters.
+
+        Zone-aware split pruning happens inside the input format, before any map task
+        exists; the format stashes what it dropped under ``PRUNED_BLOCKS_PROPERTY`` and this
+        pops it (so a re-run of the same ``JobConf`` cannot double-count) into the same
+        ``ZONE_MAP_*`` counters the executor's per-block skips use.
+        """
+        report = jobconf.properties.pop(PRUNED_BLOCKS_PROPERTY, None)
+        if not report:
+            return
+        counters.increment(Counters.ZONE_MAP_SKIPPED_BLOCKS, report.get("blocks", 0))
+        counters.increment(Counters.ZONE_MAP_PRUNED_BYTES, report.get("bytes", 0))
 
     def _commit_adaptive_builds(self, outcome: ScheduleOutcome, counters: Counters) -> None:
         """Register adaptive index builds staged by the *surviving* map-task attempts.

@@ -29,6 +29,45 @@ class ReducePhaseResult:
     num_reduce_tasks: int
 
 
+def combine_map_output(
+    pairs: list[tuple],
+    jobconf: JobConf,
+    cost: CostModel,
+    counters: Counters,
+) -> list[tuple]:
+    """Apply the job's map-side combiner to one map task's output.
+
+    Mirrors Hadoop's combiner contract: the pairs of a *single* map task are grouped by key
+    (sorted by ``repr`` for determinism, like the reduce side) and fed through
+    ``jobconf.combiner``, whose output replaces them in the shuffle.  Because the combiner
+    must be associative and commutative, the downstream reducer observes fewer pairs but the
+    same final answer; the eliminated pairs' shuffle bytes are credited to
+    ``SHUFFLE_BYTES_SAVED`` and the reduce phase is charged on the combined pair count.
+    Pass-through when the job has no combiner or the task produced no output.
+    """
+    combiner = jobconf.combiner
+    if combiner is None or not pairs:
+        return list(pairs)
+
+    groups: dict = defaultdict(list)
+    for key, value in pairs:
+        groups[key].append(value)
+
+    combined: list[tuple] = []
+    counters.increment(Counters.COMBINE_INPUT_RECORDS, len(pairs))
+    for key in sorted(groups, key=repr):
+        emitted = combiner(key, groups[key])
+        if emitted:
+            combined.extend(emitted)
+    counters.increment(Counters.COMBINE_OUTPUT_RECORDS, len(combined))
+    saved_pairs = len(pairs) - len(combined)
+    if saved_pairs > 0:
+        counters.increment(
+            Counters.SHUFFLE_BYTES_SAVED, cost.scale_bytes(saved_pairs * _BYTES_PER_PAIR)
+        )
+    return combined
+
+
 def run_reduce_phase(
     map_output: list[tuple],
     jobconf: JobConf,

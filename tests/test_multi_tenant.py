@@ -259,3 +259,42 @@ def test_shared_tuner_observes_every_tenant():
     manager = alice.system("HAIL").lifecycle
     assert manager is bob.system("HAIL").lifecycle
     assert manager.tenant_jobs == {"alice": 2, "bob": 2}
+
+
+def test_operator_counters_stay_per_tenant():
+    """COMBINE_*/JOIN_*/TOPK_* counters account only the tenant that ran the operator.
+
+    Alice runs one of each relational operator; bob (an attached sibling sharing the
+    deployment) runs only a plain scan.  Bob's operator statistics must stay zero — the
+    shared system object must not become a shared counter bag.
+    """
+    alice, bob = _tenant_sessions(max_jobs=2)
+    bob.dataset(_PATH).where(col("f1") <= VALUE_RANGE // 2).named("bob-scan").collect()
+
+    alice.dataset(_PATH).group_by("f3").agg("count(*)", "avg(f2)").named("a-group").collect()
+    alice.dataset(_PATH).select("f1", "f2").join(
+        alice.dataset(_PATH).select("f1", "f4"), on="f1"
+    ).named("a-join").collect()
+    alice.dataset(_PATH).order_by("f2", descending=True).limit(5).named("a-topk").collect()
+
+    a, b = alice.stats(), bob.stats()
+    # Raw synthetic group keys are near-unique per map task, so the combiner may not shrink
+    # anything here — reduction magnitude is the differential suite's concern, not this one's.
+    assert a.combine_input_records > 0 and a.combine_output_records > 0
+    assert a.join_merge_joins + a.join_hash_joins == 1 and a.join_output_records > 0
+    assert a.topk_blocks_read > 0
+    assert a.shuffle_bytes_saved >= 0
+    for stat in (
+        "combine_input_records",
+        "combine_output_records",
+        "shuffle_bytes_saved",
+        "join_merge_joins",
+        "join_hash_joins",
+        "join_output_records",
+        "topk_blocks_read",
+        "topk_blocks_skipped",
+    ):
+        assert getattr(b, stat) == 0, f"bob leaked {stat} from alice's operators"
+    # And the isolation is symmetric: alice's plain-scan-only sibling view stays coherent —
+    # her queries_run counts the three operator queries, bob's counts his single scan.
+    assert a.queries_run == 3 and b.queries_run == 1

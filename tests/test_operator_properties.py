@@ -1,0 +1,114 @@
+"""Property-based tests for the operator subsystem's algebraic guarantees.
+
+Two contracts are load-bearing enough to pin with hypothesis rather than examples:
+
+* **Combiner associativity** — partial aggregates merged in any grouping (any partition of
+  the input into "map tasks", combined or not) must finalize to a bit-identical value, or the
+  map-side combiner would silently change answers depending on block boundaries.
+* **Top-k tie determinism** — the ranked result must be a pure function of the row *set*,
+  not of the order blocks happen to be visited in, even when many rows tie on the order
+  attribute.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators import AggregateSpec
+from repro.engine.operators.aggregate import (
+    _finalize,
+    _initial_partial,
+    _merge_partials,
+    make_combiner,
+    make_reducer,
+)
+from repro.engine.operators.topk import _trim_top
+
+_SPECS = [AggregateSpec.parse(s) for s in ("count(*)", "sum(x)", "min(x)", "max(x)", "avg(x)")]
+
+# Integer-only values: the exactness claim (combined == uncombined bit-identically) is only
+# made for integer data, where partial sums never round.
+_values = st.lists(st.integers(min_value=-(10**6), max_value=10**6), min_size=1, max_size=40)
+
+
+def _partition(values: list[int], cut_points: list[int]) -> list[list[int]]:
+    """Split ``values`` into contiguous chunks at the (sorted, deduplicated) cut points."""
+    cuts = sorted({c % len(values) for c in cut_points} - {0})
+    chunks, start = [], 0
+    for cut in cuts:
+        chunks.append(values[start:cut])
+        start = cut
+    chunks.append(values[start:])
+    return [chunk for chunk in chunks if chunk]
+
+
+@given(values=_values, cuts=st.lists(st.integers(min_value=0, max_value=10**3), max_size=6))
+@settings(max_examples=200, deadline=None)
+def test_partials_merge_associatively(values, cuts):
+    """merge(chunk partials) == merge(all singletons), finalized, for every function."""
+    for spec in _SPECS:
+        singletons = [_initial_partial(spec, v) for v in values]
+        direct = _finalize(spec, _merge_partials(spec, singletons))
+        chunked = [
+            _merge_partials(spec, [_initial_partial(spec, v) for v in chunk])
+            for chunk in _partition(values, cuts)
+        ]
+        recombined = _finalize(spec, _merge_partials(spec, chunked))
+        assert recombined == direct, spec.sql()
+
+
+@given(values=_values, cuts=st.lists(st.integers(min_value=0, max_value=10**3), max_size=6))
+@settings(max_examples=200, deadline=None)
+def test_combiner_then_reducer_matches_reducer_alone(values, cuts):
+    """Routing partials through the combiner per chunk never changes the reducer's row."""
+    specs = tuple(_SPECS)
+    combiner = make_combiner(specs)
+    reducer = make_reducer(specs)
+    key = ("g",)
+    singletons = [tuple(_initial_partial(s, v) for s in specs) for v in values]
+    direct = reducer(key, singletons)
+
+    combined = []
+    for chunk in _partition(values, cuts):
+        chunk_partials = [tuple(_initial_partial(s, v) for s in specs) for v in chunk]
+        combined.extend(partial for _, partial in combiner(key, chunk_partials))
+    assert reducer(key, combined) == direct
+
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),  # order attribute: tiny domain forces ties
+        st.integers(min_value=-(10**3), max_value=10**3),
+    ),
+    min_size=1,
+    max_size=30,
+    unique=True,
+)
+
+
+@given(rows=_rows, k=st.integers(min_value=1, max_value=10), descending=st.booleans(), seed=st.randoms())
+@settings(max_examples=200, deadline=None)
+def test_top_k_result_is_visit_order_independent(rows, k, descending, seed):
+    """Incremental trimming over a shuffled row stream equals one global trim."""
+    expected = list(rows)
+    _trim_top(expected, 0, k, descending)
+
+    shuffled = list(rows)
+    seed.shuffle(shuffled)
+    incremental: list[tuple] = []
+    # Feed rows in arbitrary "block" order, trimming after each batch like execute_top_k does.
+    for start in range(0, len(shuffled), 3):
+        incremental.extend(shuffled[start : start + 3])
+        _trim_top(incremental, 0, k, descending)
+    assert incremental == expected
+
+
+@given(rows=_rows, k=st.integers(min_value=1, max_value=10), descending=st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_top_k_ties_break_by_repr(rows, k, descending):
+    """Held rows are exactly the first k of (order value rank, repr) — the documented order."""
+    trimmed = list(rows)
+    _trim_top(trimmed, 0, k, descending)
+    reference = sorted(rows, key=lambda r: ((-r[0] if descending else r[0]), repr(r)))[:k]
+    assert trimmed == reference

@@ -18,6 +18,10 @@ Records dispatch on their ``kind`` field:
   (adaptive replicas and zone synopses) survives the kill, every phase answers
   identically — and the time-to-first-answer speedup over a persistence-off cold
   restart must clear its floor.
+- **operators** (BENCH_9): the relational-operator record must show the map-side
+  combiner cutting shuffled pairs by its floor, the planner choosing the shuffle-free
+  merge join on co-partitioned sides without costing more than the hash fallback, and
+  ranked top-k opening under half the file's blocks — all bit-identical to brute force.
 
 Usage::
 
@@ -25,6 +29,7 @@ Usage::
     python tools/check_bench.py --min-speedup 2.0 BENCH_6.json
     python tools/check_bench.py BENCH_7.json
     python tools/check_bench.py BENCH_8.json
+    python tools/check_bench.py BENCH_9.json
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ MIN_SATURATION_SPEEDUP = 1.5
 
 #: The recovery floor: cold-restart time to first answer vs. the restored deployment's.
 MIN_RECOVERY_SPEEDUP = 2.0
+
+#: The operators floor: shuffled pairs without the map-side combiner vs. with it.
+MIN_COMBINER_REDUCTION = 2.0
+
+#: The operators ceiling: fraction of a file's blocks ranked top-k may open.
+MAX_TOPK_READ_FRACTION = 0.5
 
 #: Workloads every engine record must contain.
 REQUIRED_WORKLOADS = ("filter_micro", "skip_micro", "figure_workload")
@@ -151,6 +162,77 @@ def _check_recovery(record: dict, min_speedup: float) -> list[str]:
     return errors
 
 
+def _check_operators(record: dict, min_reduction: float) -> list[str]:
+    """Violations of a ``kind: operators`` record (the BENCH_9 relational-operator curve)."""
+    errors: list[str] = []
+    combiner = record.get("combiner")
+    if not isinstance(combiner, dict):
+        errors.append("'combiner' must be an object")
+    else:
+        reduction = combiner.get("pair_reduction")
+        if not isinstance(reduction, (int, float)):
+            errors.append("combiner: 'pair_reduction' must be a number")
+        elif reduction < min_reduction:
+            errors.append(
+                f"combiner pair_reduction {reduction:.2f}x is below the "
+                f"{min_reduction:.1f}x floor"
+            )
+        if combiner.get("results_identical") is not True:
+            errors.append(
+                "combiner: results_identical must be true — a combiner that changes "
+                "the aggregate is a bug, not a shuffle optimization"
+            )
+    join = record.get("join")
+    if not isinstance(join, dict):
+        errors.append("'join' must be an object")
+    else:
+        if join.get("strategy_auto") != "merge":
+            errors.append(
+                "join: 'strategy_auto' must be 'merge' — the planner failed to exploit "
+                "co-partitioned sides"
+            )
+        for key in ("merge_runtime_s", "hash_runtime_s"):
+            value = join.get(key)
+            if not (isinstance(value, (int, float)) and value > 0):
+                errors.append(f"join: {key!r} must be a positive number")
+        speedup = join.get("merge_speedup")
+        if not isinstance(speedup, (int, float)):
+            errors.append("join: 'merge_speedup' must be a number")
+        elif speedup < 1.0:
+            errors.append(
+                f"join: merge_speedup {speedup:.3f}x < 1 — the shuffle-free merge join "
+                "cost more than the hash fallback"
+            )
+        if not (isinstance(join.get("output_rows"), int) and join["output_rows"] > 0):
+            errors.append("join: 'output_rows' must be a positive integer — the join was empty")
+        if join.get("results_identical") is not True:
+            errors.append(
+                "join: results_identical must be true — the two strategies must agree "
+                "with brute force bit for bit"
+            )
+    topk = record.get("topk")
+    if not isinstance(topk, dict):
+        errors.append("'topk' must be an object")
+    else:
+        total = topk.get("blocks_total")
+        if not (isinstance(total, int) and total > 0):
+            errors.append("topk: 'blocks_total' must be a positive integer")
+        fraction = topk.get("read_fraction")
+        if not isinstance(fraction, (int, float)):
+            errors.append("topk: 'read_fraction' must be a number")
+        elif fraction >= MAX_TOPK_READ_FRACTION:
+            errors.append(
+                f"topk: read_fraction {fraction:.2f} is not below the "
+                f"{MAX_TOPK_READ_FRACTION:.2f} ceiling — early termination pruned nothing"
+            )
+        if topk.get("results_identical") is not True:
+            errors.append(
+                "topk: results_identical must be true — skipping a block that held a "
+                "top row is corruption, not early termination"
+            )
+    return errors
+
+
 def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     """All schema/floor violations of one parsed record (empty list = valid)."""
     errors: list[str] = []
@@ -167,6 +249,9 @@ def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     if record.get("kind") == "recovery":
         floor = min_speedup if min_speedup is not None else MIN_RECOVERY_SPEEDUP
         return errors + _check_recovery(record, floor)
+    if record.get("kind") == "operators":
+        floor = min_speedup if min_speedup is not None else MIN_COMBINER_REDUCTION
+        return errors + _check_operators(record, floor)
     if min_speedup is None:
         min_speedup = MIN_COMBINED_SPEEDUP
     if not isinstance(record.get("numpy_available"), bool):
@@ -241,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{record['recovery_speedup']:.2f}x, "
             f"runtime_bit_identical={record['runtime_bit_identical']}, "
             f"adaptive_replicas_restored={record['adaptive_replicas_restored']}"
+        )
+    elif record.get("kind") == "operators":
+        print(
+            f"check_bench: {options.path} ok — combiner_reduction="
+            f"{record['combiner']['pair_reduction']:.2f}x, "
+            f"merge_speedup={record['join']['merge_speedup']:.3f}x, "
+            f"topk_read_fraction={record['topk']['read_fraction']:.2f}"
         )
     else:
         print(

@@ -54,6 +54,7 @@ REQUIRED_DOCUMENTS: tuple[str, ...] = (
     "docs/scheduling.md",
     "docs/performance.md",
     "docs/persistence.md",
+    "docs/queries.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
