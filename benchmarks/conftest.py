@@ -26,7 +26,8 @@ def pytest_sessionfinish(session, exitstatus):
     the multi-tenant concurrency record (``BENCH_7.json``), and/or
     ``REPRO_BENCH_RECOVERY=<output path>`` for the crash-recovery record
     (``BENCH_8.json``), and/or ``REPRO_BENCH_OPERATORS=<output path>`` for the relational
-    operator record (``BENCH_9.json``).  The engine recorder lives in
+    operator record (``BENCH_9.json``), and/or ``REPRO_BENCH_CHAOS=<output path>`` for
+    the concurrency-stress record (``BENCH_10.json``).  The engine recorder lives in
     :mod:`benchmarks.bench_record`, which is not a package module, so it is loaded by file
     path; quick mode keeps the hook cheap.
     """
@@ -69,6 +70,16 @@ def pytest_sessionfinish(session, exitstatus):
             f"\nwrote {operators_path}: combiner_reduction="
             f"{payload['combiner']['pair_reduction']:.2f}x, "
             f"topk_read_fraction={payload['topk']['read_fraction']:.2f}"
+        )
+    chaos_path = os.environ.get("REPRO_BENCH_CHAOS", "").strip()
+    if chaos_path:
+        from repro.experiments.saturation import write_chaos_record
+
+        payload = write_chaos_record(chaos_path)
+        print(
+            f"\nwrote {chaos_path}: spec_speedup={payload['spec_speedup']:.2f}x, "
+            f"p99_ratio={payload['p99_ratio']:.2f}x, "
+            f"preempt_kills={payload['preempt_kills']}"
         )
 
 

@@ -52,6 +52,7 @@ from repro.engine.operators import (
 from repro.hail import HailConfig, HailSystem
 from repro.layouts.schema import Schema
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.runner import ConcurrentBatchError
 from repro.systems.base import BaseSystem, QueryResult, SystemUploadReport
 from repro.workloads.query import Query
 
@@ -283,14 +284,18 @@ class Dataset:
         """
         return self.session.explain(self, system=system)
 
-    def submit(self, system: Optional[str] = None) -> "QueryHandle":
+    def submit(
+        self, system: Optional[str] = None, deadline_s: Optional[float] = None
+    ) -> "QueryHandle":
         """Defer execution: enqueue on the session and return a handle.
 
         The handle resolves when :meth:`Session.run_batch` drains the queue; batching lets
         adaptive indexing, the lifecycle manager and the auto-tuner work across the whole
-        workload instead of one query at a time.
+        workload instead of one query at a time.  ``deadline_s`` attaches a soft completion
+        deadline for the concurrent scheduler (EDF tie-breaks + ``DEADLINE_*`` accounting);
+        it is ignored on serial drains.
         """
-        return self.session._enqueue(self.to_query(), self.path, system)
+        return self.session._enqueue(self.to_query(), self.path, system, deadline_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = self._where.describe() if self._where is not None else "*"
@@ -305,6 +310,8 @@ class QueryHandle:
     query: Query
     path: str
     system: str
+    #: Soft completion deadline on the concurrent batch timeline (``None`` = none).
+    deadline_s: Optional[float] = None
     _result: Optional[QueryResult] = None
 
     @property
@@ -504,6 +511,46 @@ class SessionStats:
     def sched_jobs_interleaved(self) -> int:
         """Jobs whose map phase overlapped another in-flight job on the shared slots."""
         return int(self.counter(Counters.SCHED_QUEUE_JOBS_INTERLEAVED))
+
+    @property
+    def spec_attempts_launched(self) -> int:
+        """Speculative backup attempts the concurrent scheduler launched for stragglers."""
+        return int(self.counter(Counters.SPEC_ATTEMPTS_LAUNCHED))
+
+    @property
+    def spec_attempts_won(self) -> int:
+        """Task completions where a speculative race had a winner (one per resolved race)."""
+        return int(self.counter(Counters.SPEC_ATTEMPTS_WON))
+
+    @property
+    def spec_attempts_discarded(self) -> int:
+        """Attempts killed because their speculative rival finished first."""
+        return int(self.counter(Counters.SPEC_ATTEMPTS_DISCARDED))
+
+    @property
+    def spec_wasted_seconds(self) -> float:
+        """Simulated seconds discarded speculative attempts burned before their kill."""
+        return self.counter(Counters.SPEC_WASTED_SECONDS)
+
+    @property
+    def preempt_attempts_killed(self) -> int:
+        """Running attempts revoked because the tenant exceeded its weighted entitlement."""
+        return int(self.counter(Counters.PREEMPT_ATTEMPTS_KILLED))
+
+    @property
+    def preempt_wasted_seconds(self) -> float:
+        """Simulated seconds preempted attempts burned before their kill."""
+        return self.counter(Counters.PREEMPT_WASTED_SECONDS)
+
+    @property
+    def deadline_jobs_met(self) -> int:
+        """Jobs submitted with a deadline whose map phase finished in time."""
+        return int(self.counter(Counters.DEADLINE_JOBS_MET))
+
+    @property
+    def deadline_jobs_missed(self) -> int:
+        """Jobs submitted with a deadline whose map phase overran it."""
+        return int(self.counter(Counters.DEADLINE_JOBS_MISSED))
 
     @property
     def combine_input_records(self) -> int:
@@ -896,19 +943,39 @@ class Session:
                 continue
             target = self.system(target_name)
             group_items = [(resolved[p][0], resolved[p][1]) for p in positions]
-            try:
-                group_results = target.run_queries(
-                    group_items, tenants=[self.tenant] * len(group_items)
-                )
-            except Exception as error:
-                raise self._batch_error(items, results, positions[0], error) from error
-            for position, result in zip(positions, group_results):
+            deadlines = [
+                items[p].deadline_s if isinstance(items[p], QueryHandle) else None
+                for p in positions
+            ]
+            if not any(d is not None for d in deadlines):
+                deadlines = None
+
+            def _accept(position: int, result: QueryResult) -> None:
                 results[position] = result
                 self._record(target_name, result)
                 item = items[position]
                 if isinstance(item, QueryHandle):
                     item._result = result
                     self._discard_pending(item)
+
+            try:
+                group_results = target.run_queries(
+                    group_items,
+                    tenants=[self.tenant] * len(group_items),
+                    deadlines=deadlines,
+                )
+            except ConcurrentBatchError as error:
+                # The batch died partway through its completions (e.g. an armed
+                # mid_concurrent_batch crash point): record and resolve what finished, so
+                # session stats and the error's .partial agree, then surface the rest.
+                for group_position, result in error.completed.items():
+                    _accept(positions[group_position], result)
+                failed = positions[error.failed_index]
+                raise self._batch_error(items, results, failed, error) from error
+            except Exception as error:
+                raise self._batch_error(items, results, positions[0], error) from error
+            for position, result in zip(positions, group_results):
+                _accept(position, result)
         return BatchResult(results=list(results))
 
     def explain(
@@ -968,11 +1035,17 @@ class Session:
         """Does this system's HDFS deployment hold ``path`` (however it was uploaded)?"""
         return system.hdfs.namenode.file_exists(path)
 
-    def _enqueue(self, query: Query, path: str, system: Optional[str]) -> QueryHandle:
+    def _enqueue(
+        self,
+        query: Query,
+        path: str,
+        system: Optional[str],
+        deadline_s: Optional[float] = None,
+    ) -> QueryHandle:
         """Register a deferred query for the next :meth:`run_batch` drain."""
         target = system if system is not None else self._default
         self.system(target)  # validate early: a typo should fail at submit, not at drain
-        handle = QueryHandle(query=query, path=path, system=target)
+        handle = QueryHandle(query=query, path=path, system=target, deadline_s=deadline_s)
         self._pending.append(handle)
         return handle
 
@@ -1051,7 +1124,7 @@ class Session:
 
 # --------------------------------------------------------------------------- multi-tenant
 def run_multi_tenant_batch(
-    sessions: Sequence[Session], system: Optional[str] = None
+    sessions: Sequence[Session], system: Optional[str] = None, chaos=None
 ) -> dict[str, BatchResult]:
     """Drain several tenants' pending queries through one shared deployment, interleaved.
 
@@ -1064,6 +1137,11 @@ def run_multi_tenant_batch(
     the *owning* session's statistics (isolation), and the deployment's shared tuner
     observes every tenant's jobs (cooperation).  Returns the per-tenant batches, each in its
     session's submission order.
+
+    ``chaos`` (:class:`~repro.cluster.failure.ConcurrentChaos`) injects faults — a node
+    death, task failures, straggler nodes — into each concurrent batch, exercising the
+    hardened scheduler (speculation, preemption, quota-respecting rescheduling) under the
+    multi-tenant interleave; it requires the deployment to be concurrency-configured.
 
     On a deployment without concurrency configured the same call degrades gracefully to
     serial execution — results and statistics are identical to per-session drains.
@@ -1097,7 +1175,13 @@ def run_multi_tenant_batch(
         target, target_name = targets[key]
         items = [(handle.query, handle.path) for _, handle in group]
         labels = [session.tenant for session, _ in group]
-        group_results = target.run_queries(items, tenants=labels)
+        deadlines = [handle.deadline_s for _, handle in group]
+        group_results = target.run_queries(
+            items,
+            tenants=labels,
+            chaos=chaos,
+            deadlines=deadlines if any(d is not None for d in deadlines) else None,
+        )
         for (session, handle), result in zip(group, group_results):
             session._record(target_name, result)
             handle._result = result

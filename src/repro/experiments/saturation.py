@@ -34,6 +34,7 @@ from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.api import Session, col, run_multi_tenant_batch
+from repro.cluster.failure import ConcurrentChaos, FailureEvent
 from repro.datagen.synthetic import VALUE_RANGE, SyntheticGenerator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureResult
@@ -56,6 +57,23 @@ _SATURATION_COLUMNS = [
     "results_identical",
 ]
 
+#: Columns of the chaos curve (one row per fault scenario).
+_CHAOS_COLUMNS = [
+    "scenario",
+    "jobs",
+    "makespan_s",
+    "latency_p99_s",
+    "spec_launched",
+    "spec_won",
+    "spec_discarded",
+    "preempt_kills",
+    "rescheduled",
+    "peak_running_per_tenant",
+    "slot_quota",
+    "quota_respected",
+    "results_identical",
+]
+
 #: The tenants sharing the deployment; two is the minimum that makes "multi-tenant" honest.
 TENANTS = ("alice", "bob")
 
@@ -75,11 +93,18 @@ def _percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
-def _deploy(config: ExperimentConfig, level: int, records, schema) -> list[Session]:
+def _deploy(
+    config: ExperimentConfig,
+    level: int,
+    records,
+    schema,
+    hail_config: Optional[HailConfig] = None,
+) -> list[Session]:
     """One fresh deployment per sweep point, with every tenant session attached to it."""
-    hail_config = HailConfig.for_attributes(
-        SATURATION_ATTRIBUTES, functional_partition_size=1
-    ).with_concurrency(max_jobs=level)
+    if hail_config is None:
+        hail_config = HailConfig.for_attributes(
+            SATURATION_ATTRIBUTES, functional_partition_size=1
+        ).with_concurrency(max_jobs=level)
     first = Session.deploy(
         nodes=config.nodes, hail_config=hail_config, tenant=TENANTS[0]
     )
@@ -108,14 +133,15 @@ def _submit_backlog(sessions: Sequence[Session], num_queries: int) -> None:
         dataset.submit()
 
 
-def _drain(sessions: Sequence[Session]) -> list:
+def _drain(sessions: Sequence[Session], chaos: Optional[ConcurrentChaos] = None) -> list:
     """Drain every tenant's backlog as one shared concurrent batch; results in global order.
 
     The returned list is in the round-robin submission order (tenant A's first, tenant B's
     first, A's second, ...) — the same global order for every sweep point, so per-index
-    result comparison against the serial baseline is meaningful.
+    result comparison against the serial baseline is meaningful.  ``chaos`` injects faults
+    into the shared batch (the chaos curve's lever).
     """
-    per_tenant = run_multi_tenant_batch(sessions)
+    per_tenant = run_multi_tenant_batch(sessions, chaos=chaos)
     merged = []
     batches = [list(per_tenant[session.tenant]) for session in sessions]
     for rank in range(max(len(batch) for batch in batches)):
@@ -214,6 +240,178 @@ def saturation_curve(
     return result
 
 
+# ------------------------------------------------------------------------------ chaos curve
+#: The node the straggler scenarios slow down and the factor they slow it by.
+_STRAGGLER_NODE = 2
+_STRAGGLER_FACTOR = 16.0
+
+#: The node the ``node_death`` scenario kills, and how long its heartbeat takes to expire.
+_CHAOS_DEATH_NODE = 1
+_CHAOS_EXPIRY_S = 5.0
+
+#: Fraction of the failure-free makespan at which the node-death scenario strikes.
+_CHAOS_KILL_FRACTION = 0.4
+
+#: Per-tenant running-attempt cap every chaos scenario runs under (of 8 total slots).
+_CHAOS_QUOTA = 6
+
+
+def _peak_overlap(results) -> int:
+    """Peak number of simultaneously running accepted attempts across ``results``.
+
+    Sweep-line over the accepted attempts' ``[start_s, finish_s)`` windows; closing an
+    interval sorts before opening one at the same instant so back-to-back attempts on the
+    same slot do not double-count.  Launch gating bounds the *full* per-tenant peak
+    (killed attempts included) by the same quota, so the accepted-attempt peak is a sound
+    audit of the quota invariant.
+    """
+    events = []
+    for query_result in results:
+        for attempt in query_result.job.task_results:
+            events.append((attempt.start_s, 1))
+            events.append((attempt.finish_s, -1))
+    peak = current = 0
+    for _, delta in sorted(events, key=lambda event: (event[0], event[1])):
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def _chaos_scenario(
+    config: ExperimentConfig,
+    records,
+    schema,
+    hail_config: HailConfig,
+    num_queries: int,
+    chaos: Optional[ConcurrentChaos] = None,
+) -> list:
+    """Deploy fresh, queue the standard backlog, drain it under ``chaos``."""
+    sessions = _deploy(config, 0, records, schema, hail_config=hail_config)
+    _submit_backlog(sessions, num_queries)
+    return _drain(sessions, chaos=chaos)
+
+
+def chaos_curve(
+    config: Optional[ExperimentConfig] = None,
+    num_queries: int = 16,
+) -> FigureResult:
+    """Concurrent-batch behaviour under injected faults, one row per scenario.
+
+    Five scenarios on the same two-tenant backlog, each on a fresh deployment:
+
+    - ``failure_free``: the reference answers, latencies, and makespan.
+    - ``straggler``: node :data:`_STRAGGLER_NODE` runs every attempt
+      :data:`_STRAGGLER_FACTOR`× slower; speculation off, so the tail attempt dominates.
+    - ``straggler_speculation``: same straggler, speculation on — backup attempts on idle
+      fast slots must beat the tail (the bench floor pins the makespan ratio at >= 1.3).
+    - ``node_death``: node :data:`_CHAOS_DEATH_NODE` dies mid-batch (at
+      :data:`_CHAOS_KILL_FRACTION` of the failure-free makespan); lost attempts reschedule
+      on surviving replicas, and p99 latency must stay within 2x failure-free.
+    - ``preemption``: no faults, but uneven tenant weights plus preemption on — a tenant
+      that expanded into idle slots is cut back to its entitlement when the other tenant's
+      demand returns, and every tenant's peak stays within the slot quota.
+
+    Every scenario must return bit-identical per-query answers to ``failure_free``:
+    stragglers, kills, backups and reschedules move work on the *timeline*, never across
+    access paths, so answers are invariant by construction — this row pins it.
+    """
+    config = config or ExperimentConfig.small()
+    if num_queries % len(TENANTS) != 0:
+        raise ValueError(
+            f"num_queries must divide evenly across {len(TENANTS)} tenants, got {num_queries}"
+        )
+    generator = SyntheticGenerator(seed=config.seed)
+    records = generator.generate(config.num_records)
+    schema = generator.schema
+
+    base = HailConfig.for_attributes(
+        SATURATION_ATTRIBUTES, functional_partition_size=1
+    ).with_concurrency(max_jobs=4, slot_quota=_CHAOS_QUOTA)
+    straggler = ConcurrentChaos(slow_nodes={_STRAGGLER_NODE: _STRAGGLER_FACTOR})
+
+    result = FigureResult(
+        figure="Chaos curve",
+        description=(
+            f"{num_queries} mixed queries from {len(TENANTS)} tenants on one shared "
+            f"{config.nodes}-node HAIL deployment under injected faults"
+        ),
+        columns=list(_CHAOS_COLUMNS),
+    )
+
+    baseline_records: Optional[list[list[tuple]]] = None
+
+    def run(name: str, hail_config: HailConfig, chaos: Optional[ConcurrentChaos]) -> dict:
+        nonlocal baseline_records
+        results = _chaos_scenario(config, records, schema, hail_config, num_queries, chaos)
+        answer = [query_result.sorted_records() for query_result in results]
+        if baseline_records is None:
+            baseline_records = answer
+        latencies = [query_result.runtime_s for query_result in results]
+        counters = [query_result.job.counters for query_result in results]
+        peaks = [
+            _peak_overlap(results[position :: len(TENANTS)])
+            for position in range(len(TENANTS))
+        ]
+        row = dict(
+            scenario=name,
+            jobs=len(results),
+            makespan_s=max(latencies),
+            latency_p99_s=_percentile(latencies, 0.99),
+            spec_launched=sum(
+                int(c.value(Counters.SPEC_ATTEMPTS_LAUNCHED)) for c in counters
+            ),
+            spec_won=sum(int(c.value(Counters.SPEC_ATTEMPTS_WON)) for c in counters),
+            spec_discarded=sum(
+                int(c.value(Counters.SPEC_ATTEMPTS_DISCARDED)) for c in counters
+            ),
+            preempt_kills=sum(
+                int(c.value(Counters.PREEMPT_ATTEMPTS_KILLED)) for c in counters
+            ),
+            rescheduled=sum(
+                query_result.job.rescheduled_tasks for query_result in results
+            ),
+            peak_running_per_tenant=max(peaks),
+            slot_quota=_CHAOS_QUOTA,
+            quota_respected=max(peaks) <= _CHAOS_QUOTA,
+            results_identical=answer == baseline_records,
+        )
+        result.add_row(**row)
+        return row
+
+    failure_free = run("failure_free", base, None)
+    run("straggler", base, straggler)
+    run("straggler_speculation", base.with_concurrency(speculation=True), straggler)
+    run(
+        "node_death",
+        base,
+        ConcurrentChaos(
+            node_failure=FailureEvent(
+                node_id=_CHAOS_DEATH_NODE,
+                at_progress=_CHAOS_KILL_FRACTION,
+                expiry_interval_s=_CHAOS_EXPIRY_S,
+            ),
+            kill_time_s=_CHAOS_KILL_FRACTION * failure_free["makespan_s"],
+        ),
+    )
+    run(
+        "preemption",
+        base.with_concurrency(
+            max_jobs=2,
+            preemption=True,
+            tenant_weights={TENANTS[0]: 2.0, TENANTS[1]: 1.0},
+        ),
+        None,
+    )
+
+    result.notes = (
+        "all scenarios share one backlog and must reproduce failure_free's answers bit "
+        "for bit; straggler vs straggler_speculation pins the speculation makespan win; "
+        "node_death pins p99 containment; preemption pins the per-tenant quota under "
+        "weighted fair sharing."
+    )
+    return result
+
+
 # --------------------------------------------------------------------------- pinned record
 def write_record(path: str, result: Optional[FigureResult] = None) -> dict:
     """Emit the pinned BENCH_7 saturation record (validated by ``tools/check_bench.py``)."""
@@ -247,6 +445,45 @@ def write_record(path: str, result: Optional[FigureResult] = None) -> dict:
         "serial_throughput_qps": serial["throughput_qps"],
         "results_identical": all(row["results_identical"] for row in result.rows),
         "saturated_tenants_interleaved": concurrent["tenants_interleaved"],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def write_chaos_record(path: str, result: Optional[FigureResult] = None) -> dict:
+    """Emit the pinned BENCH_10 chaos record (validated by ``tools/check_bench.py``)."""
+    if result is None:
+        result = chaos_curve()
+    rows = {row["scenario"]: row for row in result.rows}
+    failure_free = rows["failure_free"]
+    straggler = rows["straggler"]
+    speculation = rows["straggler_speculation"]
+    node_death = rows["node_death"]
+    preemption = rows["preemption"]
+    payload = {
+        "bench_id": "BENCH_10",
+        "kind": "chaos",
+        "schema_version": 1,
+        "version": __version__,
+        "tenants": len(TENANTS),
+        "num_queries": failure_free["jobs"],
+        "scenarios": [
+            {key: row[key] for key in _CHAOS_COLUMNS} for row in result.rows
+        ],
+        "spec_speedup": (
+            straggler["makespan_s"] / speculation["makespan_s"]
+            if speculation["makespan_s"] > 0
+            else 0.0
+        ),
+        "p99_ratio": (
+            node_death["latency_p99_s"] / failure_free["latency_p99_s"]
+            if failure_free["latency_p99_s"] > 0
+            else 0.0
+        ),
+        "preempt_kills": preemption["preempt_kills"],
+        "rescheduled_under_node_death": node_death["rescheduled"],
+        "quota_respected": all(row["quota_respected"] for row in result.rows),
+        "results_identical": all(row["results_identical"] for row in result.rows),
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload

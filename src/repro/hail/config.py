@@ -141,6 +141,29 @@ class HailConfig:
     tenant_admission_limit:
         Cap on one tenant's simultaneously *in-flight jobs* (``None`` = unlimited); jobs
         beyond it wait at the admission gate while other tenants' jobs overtake them.
+    speculative_execution:
+        Straggler defence of the concurrent service layer (off by default): when a freed
+        slot finds no regular work, launch a backup attempt for the slowest running attempt
+        whose projected duration exceeds ``speculative_slowdown`` times the
+        ``speculative_percentile``-th percentile of its job's completed attempts — first
+        finisher wins, the loser's work is discarded without double-counting
+        (``SPEC_*`` counters).
+    speculative_percentile / speculative_slowdown:
+        The straggler detector's two dials: which completed-duration percentile is
+        "typical", and how many times over it an attempt must project before a backup is
+        justified.
+    preemption:
+        Revoke running attempts (kill + requeue) from a tenant exceeding its weighted slot
+        entitlement, instead of only deferring its new launches; bounded per victim job by
+        ``max_preemptions_per_job`` and counted in the ``PREEMPT_*`` counters.  Only acts
+        when at least two tenants have in-flight work.
+    max_preemptions_per_job:
+        Kill budget per victim job — keeps preemption from starving one job forever.
+    tenant_weights:
+        Weighted fair sharing: mapping (or tuple of pairs) from tenant name to relative
+        weight; scales both the fair queue's "fewest running tasks" and preemption's slot
+        entitlements.  Unlisted tenants weigh 1.0.  Stored as a sorted tuple of pairs so
+        the frozen config stays hashable.
     persistence:
         Durable-state backend (off by default, keeping every journal write out of the
         default path so the Figure 6/7 baselines stay bit-identical): ``"off"`` keeps all
@@ -185,6 +208,12 @@ class HailConfig:
     scheduler_queue_policy: str = "fair"
     tenant_slot_quota: Optional[int] = None
     tenant_admission_limit: Optional[int] = None
+    speculative_execution: bool = False
+    speculative_percentile: float = 0.75
+    speculative_slowdown: float = 1.5
+    preemption: bool = False
+    max_preemptions_per_job: int = 2
+    tenant_weights: Optional[tuple[tuple[str, float], ...]] = None
     persistence: str = "off"
     persistence_dir: Optional[str] = None
 
@@ -229,8 +258,11 @@ class HailConfig:
             raise ValueError("placement per-job work bounds must be non-negative")
         # Concurrency knob validation lives in ConcurrencyPolicy (the class that enforces
         # them at scheduling time); constructing a throwaway policy keeps the rule in one
-        # place — exactly the DiskPressurePolicy idiom above.
-        self.concurrency_policy()
+        # place — exactly the DiskPressurePolicy idiom above.  The policy also normalizes
+        # tenant_weights (mapping or pairs) to a sorted tuple; adopting its canonical form
+        # keeps this frozen config hashable even when callers pass a dict.
+        policy = self.concurrency_policy()
+        object.__setattr__(self, "tenant_weights", policy.tenant_weights)
         if self.persistence not in ("off", "memory", "sqlite"):
             raise ValueError(
                 f"unknown persistence backend {self.persistence!r}; known: off, memory, sqlite"
@@ -273,6 +305,12 @@ class HailConfig:
             queue_policy=self.scheduler_queue_policy,
             tenant_slot_quota=self.tenant_slot_quota,
             tenant_admission_limit=self.tenant_admission_limit,
+            speculative_execution=self.speculative_execution,
+            speculative_percentile=self.speculative_percentile,
+            speculative_slowdown=self.speculative_slowdown,
+            preemption=self.preemption,
+            max_preemptions_per_job=self.max_preemptions_per_job,
+            tenant_weights=self.tenant_weights,
         )
 
     # ------------------------------------------------------------------ builders
@@ -391,11 +429,19 @@ class HailConfig:
         queue_policy: Optional[str] = None,
         slot_quota: Optional[int] = None,
         admission_limit: Optional[int] = None,
+        speculation: Optional[bool] = None,
+        speculative_percentile: Optional[float] = None,
+        speculative_slowdown: Optional[float] = None,
+        preemption: Optional[bool] = None,
+        max_preemptions_per_job: Optional[int] = None,
+        tenant_weights=None,
     ) -> "HailConfig":
         """Copy of this configuration with concurrent-service knobs toggled/tuned.
 
         Only the arguments given are changed; ``max_jobs`` above 1 is what switches batch
-        drains from serial to interleaved execution.
+        drains from serial to interleaved execution.  ``tenant_weights`` accepts a mapping
+        or a tuple of ``(tenant, weight)`` pairs; the constructor normalizes either to a
+        sorted tuple.
         """
         overrides: dict = {}
         if max_jobs is not None:
@@ -406,6 +452,18 @@ class HailConfig:
             overrides["tenant_slot_quota"] = slot_quota
         if admission_limit is not None:
             overrides["tenant_admission_limit"] = admission_limit
+        if speculation is not None:
+            overrides["speculative_execution"] = speculation
+        if speculative_percentile is not None:
+            overrides["speculative_percentile"] = speculative_percentile
+        if speculative_slowdown is not None:
+            overrides["speculative_slowdown"] = speculative_slowdown
+        if preemption is not None:
+            overrides["preemption"] = preemption
+        if max_preemptions_per_job is not None:
+            overrides["max_preemptions_per_job"] = max_preemptions_per_job
+        if tenant_weights is not None:
+            overrides["tenant_weights"] = tenant_weights
         return replace(self, **overrides)
 
     def with_persistence(

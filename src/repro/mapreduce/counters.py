@@ -101,6 +101,24 @@ class Counters:
     TOPK_BLOCKS_READ = "TOPK_BLOCKS_READ"
     #: ... and blocks its zone-map/sort-order bounds proved could not contribute.
     TOPK_BLOCKS_SKIPPED = "TOPK_BLOCKS_SKIPPED"
+    #: Scheduler hardening (only incremented by the concurrent scheduler with the matching
+    #: knob on, so serial jobs — and the pinned Figure 6/7 golden runs — observe no new
+    #: counters): speculative backup attempts launched against suspected stragglers, ...
+    SPEC_ATTEMPTS_LAUNCHED = "SPEC_ATTEMPTS_LAUNCHED"
+    #: ... task completions where a speculative race had a winner (one per resolved race), ...
+    SPEC_ATTEMPTS_WON = "SPEC_ATTEMPTS_WON"
+    #: ... attempts killed because their rival finished first (work discarded), ...
+    SPEC_ATTEMPTS_DISCARDED = "SPEC_ATTEMPTS_DISCARDED"
+    #: ... and the simulated seconds those discarded attempts burned before the kill.
+    SPEC_WASTED_SECONDS = "SPEC_WASTED_SECONDS"
+    #: Running attempts revoked mid-flight because their tenant exceeded its entitlement, ...
+    PREEMPT_ATTEMPTS_KILLED = "PREEMPT_ATTEMPTS_KILLED"
+    #: ... and the simulated seconds those revoked attempts burned before the kill.
+    PREEMPT_WASTED_SECONDS = "PREEMPT_WASTED_SECONDS"
+    #: Jobs submitted with a ``deadline_s`` whose last map attempt finished in time, ...
+    DEADLINE_JOBS_MET = "DEADLINE_JOBS_MET"
+    #: ... and jobs whose map phase overran their deadline.
+    DEADLINE_JOBS_MISSED = "DEADLINE_JOBS_MISSED"
 
     @staticmethod
     def per_attribute(base: str, attribute: str) -> str:

@@ -73,6 +73,8 @@ class JobResult:
     task_results: list = field(default_factory=list)
     failure_node: Optional[int] = None
     rescheduled_tasks: int = 0
+    #: ``None`` unless the job was submitted with a ``deadline_s`` on the concurrent path.
+    deadline_met: Optional[bool] = None
 
     @property
     def overhead_s(self) -> float:

@@ -18,18 +18,41 @@ interleaves map tasks from **multiple in-flight jobs** over the same slot pool â
 side of HAIL's "aggressive elephants" story, where indexing piggybacks on heavy multi-tenant
 traffic.  A :class:`ConcurrencyPolicy` bounds how many jobs are in flight (admission control),
 caps each tenant's simultaneously running map tasks (slot quotas), and picks the next job to
-serve either fairly or strictly FIFO.  Concurrent phases do not support failure injection;
-failure experiments (Figure 8) run jobs one at a time through :meth:`run_map_phase`.
+serve either fairly or strictly FIFO.  The concurrent path is additionally hardened for the
+Figure 8 robustness story (all knobs default off, so the pinned Figure 6/7 goldens stay
+bit-identical):
+
+- **speculative execution** â€” when a freed slot finds no regular work, the scheduler may
+  re-launch the slowest running attempt of a job whose projected duration exceeds a
+  configurable percentile of the job's completed attempts; the first finisher wins and the
+  loser's attempt is discarded without double-counting counters or double-committing
+  adaptive builds (every attempt runs against a private scratch counter bag that is merged
+  into the job's bag only if the attempt is *accepted*);
+- **failure injection inside concurrent batches** â€” a
+  :class:`~repro.cluster.failure.ConcurrentChaos` plan can kill a node at an absolute batch
+  time, fail individual task attempts, and slow straggler nodes down; rescheduling respects
+  tenant quotas because requeued tasks re-enter the same eligibility gate;
+- **preemption** â€” with competition between tenants, a tenant running beyond its weighted
+  slot entitlement has its newest attempts revoked (kill + requeue, bounded per job by
+  ``max_preemptions_per_job``) instead of merely deferring new launches;
+- **weighted fair sharing and deadlines** â€” ``tenant_weights`` scale the fair queue's
+  notion of "fewest running tasks", and jobs carrying a ``deadline_s`` are admitted and
+  served earliest-deadline-first among otherwise tied candidates, with met/missed deadlines
+  counted in ``DEADLINE_JOBS_MET``/``DEADLINE_JOBS_MISSED``.
+
+Serial failure experiments (Figure 8) still run jobs one at a time through
+:meth:`run_map_phase`, which is untouched by all of the above.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional
+from typing import Deque, Mapping, Optional
 
 from repro.cluster.costmodel import CostModel
-from repro.cluster.failure import FailureEvent
+from repro.cluster.failure import ConcurrentChaos, FailureEvent
 from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.counters import Counters
@@ -73,14 +96,35 @@ class ConcurrencyPolicy:
     running map tasks* across all its admitted jobs; a job whose tenant is at quota defers
     (``TENANT_QUOTA_DEFERRALS`` counts deferral episodes) until one of the tenant's attempts
     finishes.  ``queue_policy`` picks among the eligible jobs at each free slot: ``"fair"``
-    serves the tenant with the fewest running tasks (ties: least-served job, then submission
-    order), ``"fifo"`` always serves the oldest admitted job.
+    serves the tenant with the fewest running tasks (ties: earliest deadline, least-served
+    job, then submission order), ``"fifo"`` always serves the oldest admitted job.
+
+    The hardening knobs (all default off):
+
+    - ``speculative_execution`` launches a backup attempt for a suspected straggler when a
+      freed slot has no regular work; an attempt is a straggler candidate when its projected
+      duration exceeds ``speculative_slowdown`` times the ``speculative_percentile``-th
+      percentile of the job's *completed* attempt durations.  Backups obey tenant quotas and
+      never land on the node already running the original.
+    - ``preemption`` revokes running attempts from a tenant exceeding its weighted slot
+      entitlement (``alive_slots * weight / sum(weights)`` over tenants with in-flight
+      work, capped by ``tenant_slot_quota``), at most ``max_preemptions_per_job`` kills per
+      victim job.  Without competition (one tenant in flight) nothing is ever revoked.
+    - ``tenant_weights`` (a mapping or tuple of ``(tenant, weight)`` pairs, normalized to a
+      sorted tuple so the policy stays hashable) scale both the fair queue and the
+      preemption entitlements; unlisted tenants weigh ``1.0``.
     """
 
     max_concurrent_jobs: int = 1
     queue_policy: str = "fair"
     tenant_slot_quota: Optional[int] = None
     tenant_admission_limit: Optional[int] = None
+    speculative_execution: bool = False
+    speculative_percentile: float = 0.75
+    speculative_slowdown: float = 1.5
+    preemption: bool = False
+    max_preemptions_per_job: int = 2
+    tenant_weights: Optional[tuple[tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_jobs < 1:
@@ -91,6 +135,31 @@ class ConcurrencyPolicy:
             raise ValueError("tenant_slot_quota must be >= 1 when set")
         if self.tenant_admission_limit is not None and self.tenant_admission_limit < 1:
             raise ValueError("tenant_admission_limit must be >= 1 when set")
+        if not 0.0 < self.speculative_percentile <= 1.0:
+            raise ValueError("speculative_percentile must lie in (0, 1]")
+        if self.speculative_slowdown < 1.0:
+            raise ValueError("speculative_slowdown must be >= 1")
+        if self.max_preemptions_per_job < 0:
+            raise ValueError("max_preemptions_per_job must be non-negative")
+        if self.tenant_weights is not None:
+            pairs = (
+                self.tenant_weights.items()
+                if isinstance(self.tenant_weights, Mapping)
+                else self.tenant_weights
+            )
+            normalized = tuple(sorted((str(t), float(w)) for t, w in pairs))
+            for tenant, weight in normalized:
+                if weight <= 0:
+                    raise ValueError(f"tenant weight for {tenant!r} must be > 0")
+            object.__setattr__(self, "tenant_weights", normalized)
+
+    def weight(self, tenant: str) -> float:
+        """Fair-share weight of ``tenant`` (1.0 unless listed in ``tenant_weights``)."""
+        if self.tenant_weights:
+            for name, weight in self.tenant_weights:
+                if name == tenant:
+                    return weight
+        return 1.0
 
 
 @dataclass
@@ -117,6 +186,12 @@ class ScheduleOutcome:
     ``num_slots`` is the number of slots still *alive* when the phase ended â€” after a node
     failure it counts only surviving slots, and a phase that somehow ends with every slot
     dead reports 0 (consumers computing per-slot averages must guard, as the runner does).
+
+    The audit tail (``rescheduled``, ``speculative_launched``, ``speculative_discarded``,
+    ``preempted``) reconciles the job's counter bag: every launch recorded in
+    ``LAUNCHED_MAP_TASKS`` is either an accepted attempt in ``scheduled`` or exactly one of
+    a speculative discard, a preemption kill, or a reschedule (task failure / node death) â€”
+    ``tests/test_multi_tenant.py`` pins this identity.
     """
 
     scheduled: list[ScheduledTask]
@@ -124,6 +199,9 @@ class ScheduleOutcome:
     num_slots: int
     rescheduled: int = 0
     failure_node: Optional[int] = None
+    speculative_launched: int = 0
+    speculative_discarded: int = 0
+    preempted: int = 0
 
     @property
     def successful(self) -> list[ScheduledTask]:
@@ -137,12 +215,17 @@ class ConcurrentJob:
 
     Each job brings its **own** counter bag, so per-tenant accounting never bleeds across
     jobs sharing the slot pool; ``tenant`` labels the job for admission control, quotas and
-    the fair queue policy.
+    the fair queue policy.  ``submit_s`` places the submission on the batch timeline (jobs
+    are not considered for admission before it), and ``deadline_s`` marks a soft completion
+    deadline: it sharpens admission and fair-queue tie-breaks to earliest-deadline-first and
+    is settled into ``DEADLINE_JOBS_MET``/``DEADLINE_JOBS_MISSED`` when the job finishes.
     """
 
     tasks: list[MapTask]
     counters: Counters
     tenant: str = "default"
+    submit_s: float = 0.0
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -163,6 +246,8 @@ class ConcurrentJobOutcome:
     first_launch_s: float
     finish_s: float
     interleaved: bool = False
+    #: ``None`` for jobs without a deadline; otherwise whether ``finish_s <= deadline_s``.
+    deadline_met: Optional[bool] = None
 
 
 @dataclass
@@ -177,13 +262,31 @@ class _JobState:
     first_launch_s: Optional[float] = None
     max_finish_s: float = 0.0
     launched: int = 0
+    #: Unsettled (still-running) attempts of this job â€” the admission/quota currency.
+    active: int = 0
+    #: Durations of *accepted* attempts (the speculation percentile's sample).
+    durations: list[float] = field(default_factory=list)
+    preemptions: int = 0
+    rescheduled: int = 0
+    speculative_launched: int = 0
+    speculative_discarded: int = 0
+    preempted: int = 0
     scheduled: list[ScheduledTask] = field(default_factory=list)
     admission_blocked: bool = False
     quota_deferred: bool = False
 
     def in_flight(self, now: float) -> bool:
-        """Whether the job still occupies an admission token at time ``now``."""
-        return bool(self.queue) or (self.launched > 0 and self.max_finish_s > now)
+        """Whether the job still occupies an admission token at time ``now``.
+
+        ``active`` counts unsettled attempts, which (settlement runs before every decision)
+        all finish strictly after ``now`` â€” the same predicate the launch-time
+        ``max_finish_s > now`` check expressed before attempts could be killed mid-flight.
+        """
+        return bool(self.queue) or self.active > 0
+
+    def deadline_key(self) -> float:
+        """EDF sort key: the job's deadline, or +inf when it has none."""
+        return self.job.deadline_s if self.job.deadline_s is not None else math.inf
 
 
 @dataclass
@@ -199,6 +302,47 @@ class _QueuedTask:
     task: MapTask
     attempt: int = 1
     not_before_s: float = 0.0
+
+
+@dataclass
+class _Running:
+    """One in-flight attempt in a concurrent phase, pending settlement.
+
+    Every attempt runs against a private ``scratch`` counter bag; settlement merges it into
+    the job's bag only when the attempt is *accepted* â€” a discarded speculative loser, a
+    preempted attempt, a node-death casualty or an injected task failure contributes launch
+    bookkeeping (``LAUNCHED_MAP_TASKS``, scheduling tiers, ``SPEC_*``/``PREEMPT_*`` audit)
+    but none of its functional counters, so nothing is ever double-counted.
+    """
+
+    state: _JobState
+    queued: _QueuedTask
+    slot: _Slot
+    start_s: float
+    finish_s: float
+    result: MapTaskResult
+    scratch: Counters
+    speculative: bool = False
+    #: The other half of a speculative race (original <-> backup), if any.
+    rival: Optional["_Running"] = None
+    #: Injected task failure: run to the natural finish, then discard and requeue.
+    doomed: bool = False
+    #: Absolute time the attempt is killed (speculation loss, preemption, node death).
+    kill_s: Optional[float] = None
+    kill_reason: Optional[str] = None
+    settled: bool = False
+
+    @property
+    def end_s(self) -> float:
+        """When the attempt leaves its slot: its kill time if killed, else its finish."""
+        return self.kill_s if self.kill_s is not None else self.finish_s
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (which must be non-empty)."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
 
 
 class JobTracker:
@@ -323,15 +467,19 @@ class JobTracker:
         self,
         jobs: list[ConcurrentJob],
         policy: Optional[ConcurrencyPolicy] = None,
+        chaos: Optional[ConcurrentChaos] = None,
     ) -> list[ConcurrentJobOutcome]:
         """Interleave the map phases of several jobs over one shared slot pool.
 
-        All jobs are considered submitted at time 0 in list order; the admission gate,
-        per-tenant quotas and the queue policy are governed by ``policy`` (defaults allow
-        one job in flight, which reproduces serial back-to-back execution on a shared
-        timeline).  Each job's functional work and counters stay fully isolated â€” only the
-        *timeline* is shared.  Failure injection is not supported here; see
-        :meth:`run_map_phase`.
+        Jobs enter the admission queue at their ``submit_s`` (default 0) in list order; the
+        admission gate, per-tenant quotas, weights, speculation and preemption are governed
+        by ``policy`` (defaults allow one job in flight, which reproduces serial
+        back-to-back execution on a shared timeline).  Each job's functional work and
+        counters stay fully isolated â€” every attempt runs against a scratch counter bag
+        merged into the job's bag only on acceptance, so only the *timeline* is shared.
+        ``chaos`` optionally injects a node death, task failures and stragglers
+        (:class:`~repro.cluster.failure.ConcurrentChaos`); the caller is responsible for
+        reviving the killed node afterwards, as with :meth:`run_map_phase`.
         """
         policy = policy or ConcurrencyPolicy()
         states = [
@@ -359,56 +507,115 @@ class JobTracker:
 
         pending: Deque[_JobState] = deque(states)
         admitted: list[_JobState] = []
-        finish_times: list[tuple[float, str]] = []  # (finish_s, tenant) of every attempt
+        registry: list[_Running] = []
+        kill_time = chaos.kill_time_s if chaos is not None else None
+        failure_handled = chaos is None or chaos.node_failure is None
+        failure_struck = False
 
-        while pending or any(state.queue for state in admitted):
+        while True:
+            if not pending and not any(state.queue for state in admitted):
+                unsettled = [r for r in registry if not r.settled]
+                if not failure_handled and any(r.end_s > kill_time for r in unsettled):
+                    # The node dies while the last attempts drain: revoke and requeue.
+                    self._settle_until(kill_time, registry)
+                    self._strike_node(chaos, kill_time, slots, registry)
+                    failure_handled = failure_struck = True
+                    continue
+                doomed = [r for r in unsettled if r.doomed and r.kill_s is None]
+                if doomed:
+                    # An injected task failure still has to fail and requeue its task.
+                    self._settle_until(min(r.finish_s for r in doomed), registry)
+                    continue
+                if policy.speculative_execution and unsettled:
+                    # The final drain is where stragglers hurt most: every queue is empty,
+                    # so idle slots would otherwise just park while the tail attempt runs.
+                    drain_slot = self._next_slot(slots)
+                    if drain_slot is not None:
+                        drain_now = drain_slot.available_s
+                        self._settle_until(drain_now, registry)
+                        drain_running: dict[str, int] = {}
+                        for running in registry:
+                            if not running.settled:
+                                tenant = running.state.job.tenant
+                                drain_running[tenant] = drain_running.get(tenant, 0) + 1
+                        drain_allowance = self._tenant_allowance(
+                            policy, admitted, slots, drain_now
+                        )
+                        if self._speculate(
+                            drain_slot,
+                            drain_now,
+                            policy,
+                            chaos,
+                            registry,
+                            drain_running,
+                            drain_allowance,
+                        ):
+                            continue
+                        # No backup launchable from this slot at this instant (it shares
+                        # the straggler's node, the tenant is quota-bound, or nothing is
+                        # slow enough yet): park the slot at the next settlement and look
+                        # again instead of abandoning the drain.
+                        horizon = [
+                            r.end_s
+                            for r in registry
+                            if not r.settled and r.end_s > drain_now
+                        ]
+                        if horizon:
+                            drain_slot.available_s = min(horizon)
+                            continue
+                break
             slot = self._next_slot(slots)
-            if slot is None:  # pragma: no cover - concurrent phases never kill slots
+            if slot is None:
                 raise RuntimeError("scheduler ran out of usable slots with tasks still queued")
             now = slot.available_s
+            if not failure_handled and now >= kill_time:
+                self._settle_until(kill_time, registry)
+                self._strike_node(chaos, kill_time, slots, registry)
+                failure_handled = failure_struck = True
+                continue
+            self._settle_until(now, registry)
             self._admit(pending, admitted, policy, now)
+            allowance = self._tenant_allowance(policy, admitted, slots, now)
+            self._preempt(policy, registry, now, allowance)
             running_by_tenant: dict[str, int] = {}
-            for finish, tenant in finish_times:
-                if finish > now:
+            for running in registry:
+                if not running.settled:
+                    tenant = running.state.job.tenant
                     running_by_tenant[tenant] = running_by_tenant.get(tenant, 0) + 1
-            eligible = self._eligible_jobs(admitted, policy, running_by_tenant)
+            eligible = self._eligible_jobs(admitted, policy, running_by_tenant, allowance)
             if not eligible:
-                # Nothing runnable at `now` (quota/admission-bound): park this slot at the
-                # next attempt completion, when quotas free up and admission re-evaluates.
-                horizon = min((f for f, _ in finish_times if f > now), default=None)
-                if horizon is None:
+                # Nothing regular is runnable at `now` (quota/admission/arrival-bound):
+                # an idle slot is speculation's opportunity before parking at the next
+                # attempt completion or job arrival.
+                if policy.speculative_execution and self._speculate(
+                    slot, now, policy, chaos, registry, running_by_tenant, allowance
+                ):
+                    continue
+                horizon_candidates = [r.end_s for r in registry if not r.settled]
+                horizon_candidates += [
+                    state.job.submit_s for state in pending if state.job.submit_s > now
+                ]
+                if not horizon_candidates:
                     raise RuntimeError("concurrent scheduler stalled with tasks still queued")
-                slot.available_s = horizon
+                slot.available_s = min(horizon_candidates)
                 continue
             state = self._choose_job(eligible, policy, running_by_tenant)
             queued = self._pick_task(state.queue, slot, state.policy)
             start = max(now, queued.not_before_s)
-            counters = state.job.counters
-            result = queued.task.run(self.hdfs, self.cost, slot.node_id, counters)
-            duration = self.cost.task_overhead() + result.compute_seconds
-            finish = start + duration
-            slot.available_s = finish
-            counters.increment(Counters.LAUNCHED_MAP_TASKS)
-            self._count_assignment(state.policy, counters, queued.task.split, slot.node_id)
-            state.scheduled.append(
-                ScheduledTask(
-                    task=queued.task,
-                    node_id=slot.node_id,
-                    start_s=start,
-                    finish_s=finish,
-                    result=result,
-                    attempt=queued.attempt,
-                )
-            )
-            state.launched += 1
-            state.max_finish_s = max(state.max_finish_s, finish)
-            state.quota_deferred = False
-            if state.first_launch_s is None:
-                state.first_launch_s = start
-                counters.increment(Counters.SCHED_QUEUE_WAIT_SECONDS, start)
-            finish_times.append((finish, state.job.tenant))
+            if not failure_handled and start >= kill_time:
+                # The failure strikes before this assignment (mirrors the serial path).
+                state.queue.appendleft(queued)
+                self._settle_until(kill_time, registry)
+                self._strike_node(chaos, kill_time, slots, registry)
+                failure_handled = failure_struck = True
+                continue
+            self._launch(state, queued, slot, now, chaos, registry, speculative=False)
 
-        return self._concurrent_outcomes(states, slots)
+        self._settle_until(math.inf, registry)
+        failure_node = (
+            chaos.node_failure.node_id if failure_struck and chaos is not None else None
+        )
+        return self._concurrent_outcomes(states, slots, failure_node)
 
     # ------------------------------------------------------------------ internals
     @staticmethod
@@ -420,16 +627,21 @@ class JobTracker:
     ) -> None:
         """Move pending jobs into the in-flight set while the admission gate allows.
 
-        Jobs are considered in submission order, but a job held back by its tenant's
+        Only jobs that have *arrived* (``submit_s <= now``) are considered, earliest
+        deadline first (ties: submission order, which reproduces the old strict submission
+        order for deadline-less batches).  A job held back by its tenant's
         ``tenant_admission_limit`` does not block later jobs from *other* tenants â€” they
         overtake it (no head-of-line blocking across tenants).
         """
         while pending:
+            arrived = [state for state in pending if state.job.submit_s <= now]
+            if not arrived:
+                return
             inflight = [state for state in admitted if state.in_flight(now)]
             if len(inflight) >= policy.max_concurrent_jobs:
                 return
             chosen = None
-            for state in pending:
+            for state in sorted(arrived, key=lambda s: (s.deadline_key(), s.index)):
                 if policy.tenant_admission_limit is not None:
                     tenant_inflight = sum(
                         1 for other in inflight if other.job.tenant == state.job.tenant
@@ -453,16 +665,23 @@ class JobTracker:
         admitted: list[_JobState],
         policy: ConcurrencyPolicy,
         running_by_tenant: dict[str, int],
+        allowance: Optional[dict[str, int]] = None,
     ) -> list[_JobState]:
-        """Admitted jobs with queued tasks whose tenant is under its slot quota."""
+        """Admitted jobs with queued tasks whose tenant is under its slot limit.
+
+        The limit is the static ``tenant_slot_quota`` unless preemption computed a tighter
+        weighted ``allowance`` for the tenant â€” gating launches by the same entitlement the
+        preemptor enforces keeps a just-preempted tenant from immediately relaunching.
+        """
         eligible: list[_JobState] = []
         for state in admitted:
             if not state.queue:
                 continue
-            if (
-                policy.tenant_slot_quota is not None
-                and running_by_tenant.get(state.job.tenant, 0) >= policy.tenant_slot_quota
-            ):
+            tenant = state.job.tenant
+            limit = policy.tenant_slot_quota
+            if allowance is not None and tenant in allowance:
+                limit = allowance[tenant]
+            if limit is not None and running_by_tenant.get(tenant, 0) >= limit:
                 if not state.quota_deferred:
                     state.quota_deferred = True
                     state.job.counters.increment(Counters.TENANT_QUOTA_DEFERRALS)
@@ -476,23 +695,362 @@ class JobTracker:
         policy: ConcurrencyPolicy,
         running_by_tenant: dict[str, int],
     ) -> _JobState:
-        """Pick the job the freed slot serves next (see :class:`ConcurrencyPolicy`)."""
+        """Pick the job the freed slot serves next (see :class:`ConcurrencyPolicy`).
+
+        The fair key divides each tenant's running count by its weight (weight 1.0
+        reproduces the unweighted order exactly) and breaks ties earliest-deadline-first
+        before falling back to least-served job and submission order.
+        """
         if policy.queue_policy == "fifo":
             return min(eligible, key=lambda state: state.index)
         return min(
             eligible,
             key=lambda state: (
-                running_by_tenant.get(state.job.tenant, 0),
+                running_by_tenant.get(state.job.tenant, 0)
+                / policy.weight(state.job.tenant),
+                state.deadline_key(),
                 state.launched,
                 state.index,
             ),
         )
 
+    def _launch(
+        self,
+        state: _JobState,
+        queued: _QueuedTask,
+        slot: _Slot,
+        now: float,
+        chaos: Optional[ConcurrentChaos],
+        registry: list[_Running],
+        speculative: bool,
+    ) -> _Running:
+        """Run one attempt on ``slot`` and register it for settlement.
+
+        The functional execution happens here (durations are deterministic given the
+        replica the reader picks), but the attempt's counters land in a private scratch bag
+        and its output is published only when :meth:`_settle` accepts it.
+        """
+        start = max(now, queued.not_before_s)
+        scratch = Counters()
+        result = queued.task.run(self.hdfs, self.cost, slot.node_id, scratch)
+        duration = self.cost.task_overhead() + result.compute_seconds
+        if chaos is not None:
+            duration *= chaos.slow_factor(slot.node_id)
+        finish = start + duration
+        slot.available_s = finish
+        counters = state.job.counters
+        counters.increment(Counters.LAUNCHED_MAP_TASKS)
+        self._count_assignment(state.policy, counters, queued.task.split, slot.node_id)
+        running = _Running(
+            state=state,
+            queued=queued,
+            slot=slot,
+            start_s=start,
+            finish_s=finish,
+            result=result,
+            scratch=scratch,
+            speculative=speculative,
+        )
+        if (
+            not speculative
+            and chaos is not None
+            and chaos.dooms(state.index, queued.task.task_id, queued.attempt)
+        ):
+            running.doomed = True
+        registry.append(running)
+        state.active += 1
+        state.launched += 1
+        state.quota_deferred = False
+        if state.first_launch_s is None:
+            state.first_launch_s = start
+            counters.increment(
+                Counters.SCHED_QUEUE_WAIT_SECONDS, start - state.job.submit_s
+            )
+        return running
+
+    @staticmethod
+    def _settle_until(deadline: float, registry: list[_Running]) -> None:
+        """Settle every unsettled attempt whose slot occupancy ends by ``deadline``."""
+        due = [r for r in registry if not r.settled and r.end_s <= deadline]
+        due.sort(
+            key=lambda r: (
+                r.end_s,
+                r.state.index,
+                r.queued.task.task_id,
+                r.start_s,
+                r.speculative,
+            )
+        )
+        for running in due:
+            JobTracker._settle(running)
+
+    @staticmethod
+    def _settle(running: _Running) -> None:
+        """Resolve one finished (or killed) attempt: accept, discard, or fail-and-requeue."""
+        running.settled = True
+        state = running.state
+        state.active -= 1
+        counters = state.job.counters
+        if running.kill_s is not None:
+            # Only speculative losers settle lazily with a kill time (preemption and node
+            # death settle their victims eagerly at the kill site); the winner finished
+            # first, so this attempt's work is discarded â€” scratch counters and all.
+            counters.increment(Counters.SPEC_ATTEMPTS_DISCARDED)
+            counters.increment(
+                Counters.SPEC_WASTED_SECONDS, running.kill_s - running.start_s
+            )
+            state.speculative_discarded += 1
+            return
+        if running.doomed:
+            # Injected task failure: the attempt ran, failed at the end, and retries.
+            counters.increment(Counters.RESCHEDULED_MAP_TASKS)
+            state.rescheduled += 1
+            state.queue.append(
+                _QueuedTask(
+                    running.queued.task,
+                    attempt=running.queued.attempt + 1,
+                    not_before_s=running.finish_s,
+                )
+            )
+            return
+        counters.merge(running.scratch)
+        state.scheduled.append(
+            ScheduledTask(
+                task=running.queued.task,
+                node_id=running.slot.node_id,
+                start_s=running.start_s,
+                finish_s=running.finish_s,
+                result=running.result,
+                attempt=running.queued.attempt,
+            )
+        )
+        state.durations.append(running.finish_s - running.start_s)
+        state.max_finish_s = max(state.max_finish_s, running.finish_s)
+        if running.rival is not None:
+            counters.increment(Counters.SPEC_ATTEMPTS_WON)
+
+    def _strike_node(
+        self,
+        chaos: ConcurrentChaos,
+        kill_time: float,
+        slots: list[_Slot],
+        registry: list[_Running],
+    ) -> None:
+        """Kill the chaos plan's node mid-batch: revoke its attempts, requeue after expiry.
+
+        A revoked attempt whose speculative rival survives on an alive node is *not*
+        requeued â€” the rival completes the task alone (resurrected first if it had already
+        lost the race), which is exactly why speculation bounds tail latency under node
+        loss.
+        """
+        failure = chaos.node_failure
+        if self.cluster.node(failure.node_id).is_alive:
+            self.cluster.kill_node(failure.node_id)
+        for slot in slots:
+            if slot.node_id == failure.node_id:
+                slot.dead = True
+        not_before = kill_time + failure.expiry_interval_s
+        for running in registry:
+            if running.settled or running.slot.node_id != failure.node_id:
+                continue
+            running.settled = True
+            running.kill_s = kill_time
+            running.kill_reason = "node"
+            state = running.state
+            state.active -= 1
+            counters = state.job.counters
+            rival = running.rival
+            if rival is not None and not rival.settled and not rival.slot.dead:
+                if rival.kill_s is not None:
+                    rival.kill_s = None
+                    rival.kill_reason = None
+                    rival.slot.available_s = rival.finish_s
+                counters.increment(Counters.SPEC_ATTEMPTS_DISCARDED)
+                counters.increment(
+                    Counters.SPEC_WASTED_SECONDS, kill_time - running.start_s
+                )
+                state.speculative_discarded += 1
+                continue
+            counters.increment(Counters.RESCHEDULED_MAP_TASKS)
+            state.rescheduled += 1
+            state.queue.append(
+                _QueuedTask(
+                    running.queued.task,
+                    attempt=running.queued.attempt + 1,
+                    not_before_s=not_before,
+                )
+            )
+
+    @staticmethod
+    def _tenant_allowance(
+        policy: ConcurrencyPolicy,
+        admitted: list[_JobState],
+        slots: list[_Slot],
+        now: float,
+    ) -> Optional[dict[str, int]]:
+        """Weighted slot entitlement per tenant with in-flight work, or ``None``.
+
+        ``None`` (preemption off, or no competition) means only the static quota applies.
+        Entitlements shrink when a new tenant's job arrives or a node death shrinks the
+        pool â€” which is precisely when preemption has revocation work to do.
+        """
+        if not policy.preemption:
+            return None
+        demand: dict[str, float] = {}
+        for state in admitted:
+            if state.in_flight(now):
+                demand.setdefault(state.job.tenant, policy.weight(state.job.tenant))
+        if len(demand) <= 1:
+            return None
+        alive = sum(1 for slot in slots if not slot.dead)
+        total = sum(demand.values())
+        allowance: dict[str, int] = {}
+        for tenant, weight in demand.items():
+            share = max(1, int(alive * weight / total))
+            if policy.tenant_slot_quota is not None:
+                share = min(share, policy.tenant_slot_quota)
+            allowance[tenant] = share
+        return allowance
+
+    @staticmethod
+    def _preempt(
+        policy: ConcurrencyPolicy,
+        registry: list[_Running],
+        now: float,
+        allowance: Optional[dict[str, int]],
+    ) -> None:
+        """Revoke running attempts from tenants above their weighted entitlement.
+
+        Victims are picked cheapest-first: speculative losers (already doomed to discard)
+        before live attempts, newest launch first among those.  The surviving side of a
+        race whose loser still runs is never preempted â€” killing it would only resurrect
+        the loser, freeing nothing.  Each kill counts against the victim job's
+        ``max_preemptions_per_job``.
+        """
+        if allowance is None:
+            return
+        by_tenant: dict[str, list[_Running]] = {}
+        for running in registry:
+            if not running.settled:
+                by_tenant.setdefault(running.state.job.tenant, []).append(running)
+        for tenant in sorted(by_tenant):
+            allowed = allowance.get(tenant)
+            if allowed is None:
+                continue
+            attempts = by_tenant[tenant]
+            excess = len(attempts) - allowed
+            if excess <= 0:
+                continue
+            victims = sorted(
+                attempts,
+                key=lambda r: (
+                    r.kill_s is None,
+                    -r.start_s,
+                    r.state.index,
+                    r.queued.task.task_id,
+                ),
+            )
+            for running in victims:
+                if excess <= 0:
+                    break
+                if (
+                    running.kill_s is None
+                    and running.rival is not None
+                    and not running.rival.settled
+                ):
+                    continue
+                state = running.state
+                if state.preemptions >= policy.max_preemptions_per_job:
+                    continue
+                was_loser = running.kill_s is not None
+                state.preemptions += 1
+                running.settled = True
+                running.kill_s = now
+                running.kill_reason = "preempt"
+                state.active -= 1
+                running.slot.available_s = now
+                counters = state.job.counters
+                counters.increment(Counters.PREEMPT_ATTEMPTS_KILLED)
+                counters.increment(
+                    Counters.PREEMPT_WASTED_SECONDS, now - running.start_s
+                )
+                state.preempted += 1
+                if not was_loser:
+                    state.queue.append(
+                        _QueuedTask(
+                            running.queued.task,
+                            attempt=running.queued.attempt + 1,
+                            not_before_s=now,
+                        )
+                    )
+                excess -= 1
+
+    def _speculate(
+        self,
+        slot: _Slot,
+        now: float,
+        policy: ConcurrencyPolicy,
+        chaos: Optional[ConcurrentChaos],
+        registry: list[_Running],
+        running_by_tenant: dict[str, int],
+        allowance: Optional[dict[str, int]],
+    ) -> bool:
+        """Try to launch a backup attempt for the worst straggler on the idle ``slot``.
+
+        Candidates are running, un-raced, un-killed regular attempts of jobs with at least
+        one completed attempt, projected to run longer than ``speculative_slowdown`` times
+        the job's completed-duration percentile, on a *different* node than ``slot``, and
+        whose tenant has headroom under its slot limit.  Durations are deterministic at
+        launch, so the race resolves eagerly: the loser is killed the instant the winner
+        finishes (ties favour the original), and its slot frees at that moment.
+        """
+        best: Optional[_Running] = None
+        best_key: Optional[tuple] = None
+        for running in registry:
+            if running.settled or running.speculative or running.rival is not None:
+                continue
+            if running.doomed or running.kill_s is not None:
+                continue
+            if running.finish_s <= now or running.slot.node_id == slot.node_id:
+                continue
+            state = running.state
+            if not state.durations:
+                continue
+            typical = _percentile(state.durations, policy.speculative_percentile)
+            if (running.finish_s - running.start_s) <= policy.speculative_slowdown * typical:
+                continue
+            tenant = state.job.tenant
+            limit = policy.tenant_slot_quota
+            if allowance is not None and tenant in allowance:
+                limit = allowance[tenant]
+            if limit is not None and running_by_tenant.get(tenant, 0) >= limit:
+                continue
+            key = (-running.finish_s, state.index, running.queued.task.task_id)
+            if best is None or key < best_key:
+                best, best_key = running, key
+        if best is None:
+            return False
+        state = best.state
+        backup_queued = _QueuedTask(
+            best.queued.task, attempt=best.queued.attempt + 1, not_before_s=now
+        )
+        backup = self._launch(state, backup_queued, slot, now, chaos, registry, speculative=True)
+        state.job.counters.increment(Counters.SPEC_ATTEMPTS_LAUNCHED)
+        state.speculative_launched += 1
+        backup.rival = best
+        best.rival = backup
+        loser = backup if backup.finish_s >= best.finish_s else best
+        winner = best if loser is backup else backup
+        loser.kill_s = winner.finish_s
+        loser.kill_reason = "speculation"
+        loser.slot.available_s = winner.finish_s
+        return True
+
     @staticmethod
     def _concurrent_outcomes(
-        states: list[_JobState], slots: list[_Slot]
+        states: list[_JobState], slots: list[_Slot], failure_node: Optional[int] = None
     ) -> list[ConcurrentJobOutcome]:
-        """Wrap per-job results, flagging jobs whose map windows overlapped another's."""
+        """Wrap per-job results, flagging interleaving and settling deadlines."""
         outcomes: list[ConcurrentJobOutcome] = []
         alive = len([slot for slot in slots if not slot.dead])
         for state in states:
@@ -506,6 +1064,14 @@ class JobTracker:
             )
             if interleaved:
                 state.job.counters.increment(Counters.SCHED_QUEUE_JOBS_INTERLEAVED)
+            deadline_met: Optional[bool] = None
+            if state.job.deadline_s is not None:
+                deadline_met = state.max_finish_s <= state.job.deadline_s
+                state.job.counters.increment(
+                    Counters.DEADLINE_JOBS_MET
+                    if deadline_met
+                    else Counters.DEADLINE_JOBS_MISSED
+                )
             admitted_s = state.admitted_s if state.admitted_s is not None else 0.0
             outcomes.append(
                 ConcurrentJobOutcome(
@@ -513,12 +1079,18 @@ class JobTracker:
                         scheduled=state.scheduled,
                         makespan_s=state.max_finish_s,
                         num_slots=alive,
+                        rescheduled=state.rescheduled,
+                        failure_node=failure_node,
+                        speculative_launched=state.speculative_launched,
+                        speculative_discarded=state.speculative_discarded,
+                        preempted=state.preempted,
                     ),
                     tenant=state.job.tenant,
                     admitted_s=admitted_s,
                     first_launch_s=window_open if window_open is not None else admitted_s,
                     finish_s=state.max_finish_s,
                     interleaved=interleaved,
+                    deadline_met=deadline_met,
                 )
             )
         return outcomes

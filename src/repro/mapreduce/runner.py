@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cluster.costmodel import CostModel
-from repro.cluster.failure import FailureEvent
+from repro.cluster.failure import ConcurrentChaos, FailureEvent
 from repro.cluster.topology import Cluster
 from repro.hdfs.filesystem import Hdfs
 from repro.mapreduce.counters import Counters
@@ -37,6 +37,24 @@ from repro.mapreduce.job_tracker import (
 )
 from repro.mapreduce.shuffle import combine_map_output, run_reduce_phase
 from repro.mapreduce.task import MapTask
+
+
+class ConcurrentBatchError(RuntimeError):
+    """A concurrent batch died partway through its post-map completions.
+
+    ``completed`` maps job *index* (position in the submitted ``jobconfs`` list) to the
+    :class:`~repro.mapreduce.job.JobResult` of every job that fully completed before the
+    failure, so callers (the session layer) can surface partial results; ``failed_index``
+    is the job whose completion raised ``cause``.
+    """
+
+    def __init__(self, completed: dict, failed_index: int, cause: BaseException) -> None:
+        super().__init__(
+            f"concurrent batch failed completing job {failed_index}: {cause}"
+        )
+        self.completed = completed
+        self.failed_index = failed_index
+        self.cause = cause
 
 
 class MapReduceRunner:
@@ -76,25 +94,41 @@ class MapReduceRunner:
         jobconfs: list[JobConf],
         tenants: Optional[list[str]] = None,
         policy: Optional[ConcurrencyPolicy] = None,
+        chaos: Optional[ConcurrentChaos] = None,
+        submit_times: Optional[list[float]] = None,
+        deadlines: Optional[list[Optional[float]]] = None,
     ) -> list[JobResult]:
         """Execute a batch of jobs with interleaved map phases over shared slots.
 
         ``tenants`` labels each job for admission control, quotas and fair queueing
-        (defaults to a single ``"default"`` tenant).  Results align with ``jobconfs``;
-        each ``JobResult.runtime_s`` is the job's end-to-end latency on the shared batch
-        timeline — client-side startup and split phases overlap across jobs, but the map
-        makespan is absolute and includes queueing behind other in-flight work.  Reduce
-        phases, adaptive commits and lifecycle passes run in map-completion order, so a
-        shared :class:`~repro.engine.lifecycle.AdaptiveTuner` observes jobs in the same
-        causal order the timeline produced.  Failure injection is not supported here.
+        (defaults to a single ``"default"`` tenant).  ``submit_times`` staggers job
+        arrivals on the batch timeline (default: all at 0) and ``deadlines`` attaches
+        per-job soft deadlines (EDF tie-breaks + ``DEADLINE_*`` accounting).  ``chaos``
+        injects faults into the interleaved phase — a node death (the node is revived
+        before returning, mirroring the serial failure runner), task-attempt failures,
+        and straggler slow-downs; see :class:`~repro.cluster.failure.ConcurrentChaos`.
+
+        Results align with ``jobconfs``; each ``JobResult.runtime_s`` is the job's
+        end-to-end latency on the shared batch timeline — client-side startup and split
+        phases overlap across jobs, but the map makespan is absolute and includes queueing
+        behind other in-flight work.  Reduce phases, adaptive commits and lifecycle passes
+        run in map-completion order, so a shared
+        :class:`~repro.engine.lifecycle.AdaptiveTuner` observes jobs in the same causal
+        order the timeline produced.  If a completion dies partway (e.g. an armed
+        ``mid_concurrent_batch`` crash point), the already-completed jobs survive inside
+        the raised :class:`ConcurrentBatchError`.
         """
         if tenants is None:
             tenants = ["default"] * len(jobconfs)
         if len(tenants) != len(jobconfs):
             raise ValueError("tenants must align one-to-one with jobconfs")
+        if submit_times is not None and len(submit_times) != len(jobconfs):
+            raise ValueError("submit_times must align one-to-one with jobconfs")
+        if deadlines is not None and len(deadlines) != len(jobconfs):
+            raise ValueError("deadlines must align one-to-one with jobconfs")
         jobs: list[ConcurrentJob] = []
         plans = []
-        for jobconf, tenant in zip(jobconfs, tenants):
+        for i, (jobconf, tenant) in enumerate(zip(jobconfs, tenants)):
             counters = Counters()
             self._set_usage_recording(jobconf, record=True)
             plan = self.job_client.compute_splits(jobconf)
@@ -102,23 +136,48 @@ class MapReduceRunner:
                 MapTask(task_id=i, split=split, jobconf=jobconf)
                 for i, split in enumerate(plan.splits)
             ]
-            jobs.append(ConcurrentJob(tasks=tasks, counters=counters, tenant=tenant))
+            jobs.append(
+                ConcurrentJob(
+                    tasks=tasks,
+                    counters=counters,
+                    tenant=tenant,
+                    submit_s=submit_times[i] if submit_times is not None else 0.0,
+                    deadline_s=deadlines[i] if deadlines is not None else None,
+                )
+            )
             plans.append(plan)
-        outcomes = self.job_tracker.run_concurrent_map_phases(jobs, policy)
+        try:
+            outcomes = self.job_tracker.run_concurrent_map_phases(jobs, policy, chaos=chaos)
+        finally:
+            if chaos is not None and chaos.node_failure is not None:
+                node = self.cluster.node(chaos.node_failure.node_id)
+                if not node.is_alive:
+                    node.revive()
         completion_order = sorted(
             range(len(jobs)), key=lambda i: (outcomes[i].finish_s, i)
         )
         results: list[Optional[JobResult]] = [None] * len(jobs)
+        completed: dict[int, JobResult] = {}
+        persist = getattr(self.hdfs, "persist", None)
         for i in completion_order:
-            results[i] = self._complete_job(
-                jobconfs[i],
-                plans[i],
-                jobs[i].tasks,
-                outcomes[i].outcome,
-                jobs[i].counters,
-                commit_adaptive=True,
-                tenant=tenants[i],
-            )
+            try:
+                if persist is not None and completed:
+                    # A named crash site *between* job completions: everything already in
+                    # `completed` is journaled, the rest of the batch dies with the process.
+                    persist.barrier("mid_concurrent_batch")
+                results[i] = self._complete_job(
+                    jobconfs[i],
+                    plans[i],
+                    jobs[i].tasks,
+                    outcomes[i].outcome,
+                    jobs[i].counters,
+                    commit_adaptive=True,
+                    tenant=tenants[i],
+                    deadline_met=outcomes[i].deadline_met,
+                )
+            except Exception as exc:
+                raise ConcurrentBatchError(completed, failed_index=i, cause=exc) from exc
+            completed[i] = results[i]
         return results
 
     # ------------------------------------------------------------------ internals
@@ -150,6 +209,7 @@ class MapReduceRunner:
         counters: Counters,
         commit_adaptive: bool,
         tenant: Optional[str] = None,
+        deadline_met: Optional[bool] = None,
     ) -> JobResult:
         """Everything after the map phase: commits, reduce, lifecycle, timing decomposition.
 
@@ -217,6 +277,7 @@ class MapReduceRunner:
             task_results=outcome.scheduled,
             failure_node=outcome.failure_node,
             rescheduled_tasks=outcome.rescheduled,
+            deadline_met=deadline_met,
         )
 
     @staticmethod

@@ -16,7 +16,10 @@ balancer rebuild/migrate).  The hooks all funnel through three calls:
 ``"mid_adaptive_commit"``, ``"mid_eviction"``, ``"mid_rebalance"``) so the fault-injection
 harness (:class:`CrashPoint`) can kill the journal write at an exact site and the crash
 matrix (``tests/test_persist_crash_matrix.py``) can prove restore stays consistent from any
-of them.  Crash semantics per backend:
+of them.  The concurrent runner additionally calls :meth:`PersistenceBackend.barrier` with
+site ``"mid_concurrent_batch"`` between job completions of an interleaved batch, so the
+matrix can kill a multi-tenant batch halfway and verify the already-completed jobs'
+durable state survives restore.  Crash semantics per backend:
 
 - :class:`MemoryBackend` crashes *before* applying the update — the journal keeps the
   pre-mutation state, modelling a process killed before the write hit the store.
@@ -85,6 +88,15 @@ class PersistenceBackend:
         """Fire the armed crash point, if any, for a journal write at ``site``."""
         if self.crash_point is not None:
             self.crash_point.check(site)
+
+    def barrier(self, site: str) -> None:
+        """A crash site that is *not* a journal write (e.g. ``"mid_concurrent_batch"``).
+
+        Journals nothing; it only gives the fault-injection harness a named point between
+        two already-journaled operations at which an armed :class:`CrashPoint` can kill the
+        process.
+        """
+        self._maybe_crash(site)
 
     # ------------------------------------------------------------------ journaling hooks
     def sync_path(self, path: str, schema: "Schema") -> None:

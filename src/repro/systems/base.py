@@ -27,7 +27,7 @@ from repro.hdfs.client import HdfsClient
 from repro.hdfs.filesystem import DataFile, Hdfs
 from repro.layouts.schema import Schema
 from repro.mapreduce.job import JobConf, JobResult
-from repro.mapreduce.runner import MapReduceRunner
+from repro.mapreduce.runner import ConcurrentBatchError, MapReduceRunner
 
 
 @dataclass
@@ -199,6 +199,9 @@ class BaseSystem(abc.ABC):
         self,
         items: Sequence[tuple],
         tenants: Optional[Sequence[str]] = None,
+        chaos=None,
+        submit_times: Optional[Sequence[float]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
     ) -> list[QueryResult]:
         """Run several ``(query, path)`` pairs as one batch, concurrently when configured.
 
@@ -206,27 +209,53 @@ class BaseSystem(abc.ABC):
         ``max_concurrent_jobs > 1``), the jobs' map phases interleave over the shared
         TaskTracker slots via :meth:`MapReduceRunner.run_concurrent`; otherwise the batch
         falls back to serial :meth:`run_query` calls.  ``tenants`` labels each job for
-        admission control/quotas/fair queueing.  Results align with ``items``.
+        admission control/quotas/fair queueing; ``chaos``
+        (:class:`~repro.cluster.failure.ConcurrentChaos`), ``submit_times`` and
+        ``deadlines`` feed the hardened concurrent path and require a concurrent-capable
+        deployment (they are rejected on the serial fallback rather than silently ignored).
+        Results align with ``items``; if the batch dies partway the completed prefix
+        travels inside :class:`~repro.mapreduce.runner.ConcurrentBatchError` (re-raised
+        with job results converted to :class:`QueryResult`).
         """
         items = list(items)
         policy = self.concurrency_policy()
         if policy is None or policy.max_concurrent_jobs <= 1 or len(items) <= 1:
+            if chaos is not None or submit_times is not None or deadlines is not None:
+                raise ValueError(
+                    "chaos/submit_times/deadlines need the concurrent batch path; "
+                    "configure max_concurrent_jobs > 1 and submit at least two queries"
+                )
             return [self.run_query(query, path) for query, path in items]
         jobconfs = [
             self._make_jobconf(query, path, self.schema_of(path)) for query, path in items
         ]
         tenant_labels = list(tenants) if tenants is not None else None
-        jobs = self.runner.run_concurrent(jobconfs, tenants=tenant_labels, policy=policy)
-        return [
-            QueryResult(
+
+        def _wrap(position: int, job: JobResult) -> QueryResult:
+            query, path = items[position]
+            return QueryResult(
                 system=self.name,
                 query_name=query.name,
                 records=job.records,
                 job=job,
                 plan=self._executed_plan(query, path, job),
             )
-            for (query, path), job in zip(items, jobs)
-        ]
+
+        try:
+            jobs = self.runner.run_concurrent(
+                jobconfs,
+                tenants=tenant_labels,
+                policy=policy,
+                chaos=chaos,
+                submit_times=list(submit_times) if submit_times is not None else None,
+                deadlines=list(deadlines) if deadlines is not None else None,
+            )
+        except ConcurrentBatchError as exc:
+            exc.completed = {
+                position: _wrap(position, job) for position, job in exc.completed.items()
+            }
+            raise
+        return [_wrap(position, job) for position, job in enumerate(jobs)]
 
     def concurrency_policy(self):
         """The batch-drain :class:`~repro.mapreduce.job_tracker.ConcurrencyPolicy`.

@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import Session, col, run_multi_tenant_batch
+from repro.cluster.failure import ConcurrentChaos
 from repro.datagen.synthetic import VALUE_RANGE, SyntheticGenerator
 from repro.hail import HailConfig
 from repro.hdfs import DataFile, HdfsClient, StandardUploadPipeline
@@ -259,6 +260,57 @@ def test_shared_tuner_observes_every_tenant():
     manager = alice.system("HAIL").lifecycle
     assert manager is bob.system("HAIL").lifecycle
     assert manager.tenant_jobs == {"alice": 2, "bob": 2}
+
+
+def test_scheduler_counters_audit_per_job_and_sum_to_global():
+    """Per-job speculation/preemption/reschedule counters reconcile, and sum to the stats.
+
+    Under a straggler node with speculation and preemption live, every job's
+    ``LAUNCHED_MAP_TASKS`` must equal its accepted attempts plus its speculative discards
+    plus its preemption kills plus its reschedules — and each tenant's session statistics
+    must be exactly the sum of that tenant's per-job bags, nothing shared, nothing lost.
+    """
+    audited = (
+        Counters.LAUNCHED_MAP_TASKS,
+        Counters.SPEC_ATTEMPTS_LAUNCHED,
+        Counters.SPEC_ATTEMPTS_WON,
+        Counters.SPEC_ATTEMPTS_DISCARDED,
+        Counters.SPEC_WASTED_SECONDS,
+        Counters.PREEMPT_ATTEMPTS_KILLED,
+        Counters.PREEMPT_WASTED_SECONDS,
+        Counters.RESCHEDULED_MAP_TASKS,
+    )
+    sessions = _tenant_sessions(
+        max_jobs=4,
+        speculation=True,
+        preemption=True,
+        tenant_weights={"alice": 1.0, "bob": 1.0},
+    )
+    _submit_mixed(sessions, 8)
+    batches = run_multi_tenant_batch(sessions, chaos=ConcurrentChaos(slow_nodes={1: 10.0}))
+    spec_launched = 0
+    for tenant, batch in batches.items():
+        for result in batch:
+            job = result.job
+            counters = job.counters
+            # Audit identity: every launch is an accepted attempt or exactly one of a
+            # speculative discard, a preemption kill, or a reschedule.
+            assert counters.value(Counters.LAUNCHED_MAP_TASKS) == (
+                len(job.task_results)
+                + counters.value(Counters.SPEC_ATTEMPTS_DISCARDED)
+                + counters.value(Counters.PREEMPT_ATTEMPTS_KILLED)
+                + counters.value(Counters.RESCHEDULED_MAP_TASKS)
+            )
+            spec_launched += counters.value(Counters.SPEC_ATTEMPTS_LAUNCHED)
+    # The straggler genuinely triggered backups somewhere in the batch.
+    assert spec_launched > 0
+    # Global = sum of per-job bags, per tenant, for every audited counter.
+    for session in sessions:
+        stats = session.stats()
+        batch = batches[session.tenant]
+        for counter in audited:
+            total = sum(result.job.counters.value(counter) for result in batch)
+            assert stats.counter(counter) == total, counter
 
 
 def test_operator_counters_stay_per_tenant():

@@ -1,9 +1,11 @@
 """Crash-point fault-injection matrix for the persistence layer (`src/repro/persist/`).
 
 Every journal write site (`mid_upload`, `mid_adaptive_commit`, `mid_eviction`,
-`mid_rebalance`) is killed mid-mutation via an armed :class:`~repro.persist.CrashPoint`,
-the dead deployment's process state is discarded, and a brand-new deployment restores from
-the journal.  The matrix pins the crash-safety contract for both backends:
+`mid_rebalance`) is killed mid-mutation via an armed :class:`~repro.persist.CrashPoint`
+— plus the `mid_concurrent_batch` barrier, which kills the deployment *between* job
+completions of an interleaved concurrent batch — the dead deployment's process state is
+discarded, and a brand-new deployment restores from the journal.  The matrix pins the
+crash-safety contract for both backends:
 
 - ``Dir_rep`` is consistent after every restore — no half-registered replicas
   (:func:`~repro.hail.scheduler.check_dir_rep_consistency`), every ``Dir_block`` host
@@ -23,6 +25,8 @@ import dataclasses
 
 import pytest
 
+from repro.api import Session, col
+from repro.api.session import BatchExecutionError
 from repro.cluster import Cluster, CostModel, CostParameters, DiskPressurePolicy
 from repro.datagen.synthetic import SYNTHETIC_SCHEMA, VALUE_RANGE, SyntheticGenerator
 from repro.engine.lifecycle import evict_under_pressure
@@ -171,6 +175,49 @@ def test_crash_mid_eviction_never_resurrects_tombstones(backend, tmp_path):
         namenode.block_eviction_tombstones(block_id)
         for block_id in namenode.file_blocks(_PATH)
     )
+    _assert_recovered(restored)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_crash_mid_concurrent_batch_preserves_partial_results(backend, tmp_path):
+    """A kill between completions of an interleaved batch loses nothing that finished.
+
+    The concurrent runner crosses the ``mid_concurrent_batch`` barrier before committing
+    every completion after the first, so ``after=0`` kills the deployment with at least
+    one job fully done and at least one undelivered.  The finished work must travel out
+    on ``BatchExecutionError.partial`` with exact answers, and a restore from the journal
+    must pass the full consistency contract.
+    """
+    config = _config(backend, tmp_path).with_concurrency(max_jobs=2)
+    session = Session.deploy(nodes=4, hail_config=config, tenant="alice")
+    records = SyntheticGenerator(seed=3).generate(800)
+    session.upload(_PATH, records, SYNTHETIC_SCHEMA, rows_per_block=100)
+    system = session.system("HAIL")
+
+    attributes = ("f1", "f2", "f3")
+    for i, attribute in enumerate(attributes):
+        session.dataset(_PATH).where(col(attribute) < VALUE_RANGE // 10).named(
+            f"cb-{i}-{attribute}"
+        ).submit()
+    system.hdfs.persist.crash_point = CrashPoint("mid_concurrent_batch", after=0)
+    with pytest.raises(BatchExecutionError) as excinfo:
+        session.run_batch()
+    error = excinfo.value
+    assert isinstance(error.__cause__.__cause__, CrashInjected)
+
+    # The barrier fires only once >=1 job has completed, so the partial is never empty —
+    # and never the whole batch, or nothing crashed.
+    partial = error.partial
+    assert 0 < len(partial) < len(attributes)
+    by_name = {f"cb-{i}-{attribute}": attribute for i, attribute in enumerate(attributes)}
+    for result in partial:
+        attribute = by_name[result.query_name]
+        assert result.sorted_records() == _expected(system, attribute)
+    # Session statistics already folded in exactly the completed queries.
+    assert session.stats().queries_run == len(partial)
+    system.hdfs.persist.close()
+
+    restored = _restore(config)
     _assert_recovered(restored)
 
 

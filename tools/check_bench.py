@@ -22,6 +22,11 @@ Records dispatch on their ``kind`` field:
   combiner cutting shuffled pairs by its floor, the planner choosing the shuffle-free
   merge join on co-partitioned sides without costing more than the hash fallback, and
   ranked top-k opening under half the file's blocks — all bit-identical to brute force.
+- **chaos** (BENCH_10): the concurrency-stress record must show speculation beating
+  the speculation-off straggler makespan by its floor, p99 latency under injected node
+  death within its ceiling of the failure-free p99, at least one preemption kill with
+  every tenant's peak running attempts inside the slot quota, and every fault scenario
+  answering bit-identically to the failure-free run.
 
 Usage::
 
@@ -30,6 +35,7 @@ Usage::
     python tools/check_bench.py BENCH_7.json
     python tools/check_bench.py BENCH_8.json
     python tools/check_bench.py BENCH_9.json
+    python tools/check_bench.py BENCH_10.json
 """
 
 from __future__ import annotations
@@ -53,6 +59,21 @@ MIN_COMBINER_REDUCTION = 2.0
 
 #: The operators ceiling: fraction of a file's blocks ranked top-k may open.
 MAX_TOPK_READ_FRACTION = 0.5
+
+#: The chaos floor: speculation-off straggler makespan vs. speculation-on.
+MIN_SPEC_SPEEDUP = 1.3
+
+#: The chaos ceiling: p99 latency under injected node death vs. failure-free p99.
+MAX_CHAOS_P99_RATIO = 2.0
+
+#: Fault scenarios every chaos record must contain.
+REQUIRED_CHAOS_SCENARIOS = (
+    "failure_free",
+    "straggler",
+    "straggler_speculation",
+    "node_death",
+    "preemption",
+)
 
 #: Workloads every engine record must contain.
 REQUIRED_WORKLOADS = ("filter_micro", "skip_micro", "figure_workload")
@@ -233,6 +254,74 @@ def _check_operators(record: dict, min_reduction: float) -> list[str]:
     return errors
 
 
+def _check_chaos(record: dict, min_speedup: float) -> list[str]:
+    """Violations of a ``kind: chaos`` record (the BENCH_10 concurrency-stress sweep)."""
+    errors: list[str] = []
+    tenants = record.get("tenants")
+    if not (isinstance(tenants, int) and tenants >= 2):
+        errors.append("'tenants' must be an integer >= 2 — one tenant is not multi-tenancy")
+    scenarios = record.get("scenarios")
+    if not isinstance(scenarios, list):
+        return errors + ["'scenarios' must be a list of fault-scenario rows"]
+    by_name = {
+        row.get("scenario"): row for row in scenarios if isinstance(row, dict)
+    }
+    for name in REQUIRED_CHAOS_SCENARIOS:
+        if name not in by_name:
+            errors.append(f"missing scenario {name!r}")
+    for name, row in by_name.items():
+        label = f"scenarios[{name}]"
+        for key in ("makespan_s", "latency_p99_s"):
+            value = row.get(key)
+            if not (isinstance(value, (int, float)) and value > 0):
+                errors.append(f"{label}: {key!r} must be a positive number")
+        if row.get("results_identical") is not True:
+            errors.append(
+                f"{label}: results_identical must be true — a fault that changes "
+                "answers is corruption, not degraded service"
+            )
+        if row.get("quota_respected") is not True:
+            errors.append(
+                f"{label}: quota_respected must be true — "
+                f"peak {row.get('peak_running_per_tenant')} running attempts exceeded "
+                f"the {row.get('slot_quota')}-slot tenant quota"
+            )
+    speculation = by_name.get("straggler_speculation", {})
+    if not (isinstance(speculation.get("spec_launched"), int) and speculation["spec_launched"] > 0):
+        errors.append(
+            "straggler_speculation: 'spec_launched' must be positive — no backup "
+            "attempts means speculation never engaged"
+        )
+    node_death = by_name.get("node_death", {})
+    if not (isinstance(node_death.get("rescheduled"), int) and node_death["rescheduled"] > 0):
+        errors.append(
+            "node_death: 'rescheduled' must be positive — a node death that "
+            "rescheduled nothing killed nothing"
+        )
+    kills = record.get("preempt_kills")
+    if not (isinstance(kills, int) and kills > 0):
+        errors.append(
+            "'preempt_kills' must be a positive integer — the preemption scenario "
+            "never revoked a slot"
+        )
+    speedup = record.get("spec_speedup")
+    if not isinstance(speedup, (int, float)):
+        errors.append("'spec_speedup' must be a number")
+    elif speedup < min_speedup:
+        errors.append(
+            f"spec_speedup {speedup:.2f}x is below the {min_speedup:.1f}x floor"
+        )
+    ratio = record.get("p99_ratio")
+    if not isinstance(ratio, (int, float)):
+        errors.append("'p99_ratio' must be a number")
+    elif ratio > MAX_CHAOS_P99_RATIO:
+        errors.append(
+            f"p99_ratio {ratio:.2f}x exceeds the {MAX_CHAOS_P99_RATIO:.1f}x ceiling — "
+            "node death degraded tail latency beyond the containment bound"
+        )
+    return errors
+
+
 def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     """All schema/floor violations of one parsed record (empty list = valid)."""
     errors: list[str] = []
@@ -252,6 +341,9 @@ def check_record(record: Any, min_speedup: float | None = None) -> list[str]:
     if record.get("kind") == "operators":
         floor = min_speedup if min_speedup is not None else MIN_COMBINER_REDUCTION
         return errors + _check_operators(record, floor)
+    if record.get("kind") == "chaos":
+        floor = min_speedup if min_speedup is not None else MIN_SPEC_SPEEDUP
+        return errors + _check_chaos(record, floor)
     if min_speedup is None:
         min_speedup = MIN_COMBINED_SPEEDUP
     if not isinstance(record.get("numpy_available"), bool):
@@ -333,6 +425,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{record['combiner']['pair_reduction']:.2f}x, "
             f"merge_speedup={record['join']['merge_speedup']:.3f}x, "
             f"topk_read_fraction={record['topk']['read_fraction']:.2f}"
+        )
+    elif record.get("kind") == "chaos":
+        print(
+            f"check_bench: {options.path} ok — spec_speedup="
+            f"{record['spec_speedup']:.2f}x, p99_ratio={record['p99_ratio']:.2f}x, "
+            f"preempt_kills={record['preempt_kills']}, "
+            f"quota_respected={record['quota_respected']}"
         )
     else:
         print(
